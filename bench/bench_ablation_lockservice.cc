@@ -1,0 +1,90 @@
+// Ablation (§6): the three lock service implementations. Measures (a) the
+// latency of a contended metadata operation that requires a lock handoff
+// between two machines — the lock service is on that path — and (b) cold
+// lock-acquire latency. The paper's qualitative claims: the centralized
+// in-memory server is fast but a single point of failure; the
+// primary/backup variant persists every state change to Petal and is slower
+// in the common case; the distributed version is both fast and fault
+// tolerant.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/base/histogram.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+namespace {
+
+struct LatencyResult {
+  double handoff_ms = 0;  // alternating writers: one lock handoff per op
+  double cold_ms = 0;     // first acquire of a fresh lock
+};
+
+StatusOr<LatencyResult> RunKind(LockServiceKind kind) {
+  ClusterOptions options = PaperClusterOptions(/*nvram=*/true);
+  options.lock_kind = kind;
+  Cluster cluster(options);
+  RETURN_IF_ERROR(cluster.Start());
+  RETURN_IF_ERROR(cluster.AddFrangipani().status());
+  RETURN_IF_ERROR(cluster.AddFrangipani().status());
+
+  ASSIGN_OR_RETURN(uint64_t ino, cluster.fs(0)->Create("/pingpong"));
+  Bytes data(512, 0x11);
+  // Warm up both clerks.
+  RETURN_IF_ERROR(cluster.fs(0)->Write(ino, 0, data));
+  RETURN_IF_ERROR(cluster.fs(1)->Write(ino, 0, data));
+
+  Histogram handoff;
+  constexpr int kRounds = 60;
+  for (int i = 0; i < kRounds; ++i) {
+    FrangipaniFs* fs = cluster.fs(i % 2);
+    double t0 = NowSeconds();
+    RETURN_IF_ERROR(fs->Write(ino, 0, data));
+    handoff.Record((NowSeconds() - t0) * 1000);
+  }
+
+  Histogram cold;
+  for (int i = 0; i < 30; ++i) {
+    double t0 = NowSeconds();
+    RETURN_IF_ERROR(cluster.fs(0)->Create("/cold" + std::to_string(i)).status());
+    cold.Record((NowSeconds() - t0) * 1000);
+  }
+  LatencyResult result;
+  result.handoff_ms = handoff.Percentile(0.5);
+  result.cold_ms = cold.Percentile(0.5);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: the three lock-service implementations of §6\n\n");
+  std::printf("%-16s  %18s  %16s\n", "implementation", "lock handoff (ms)", "create op (ms)");
+  std::vector<std::string> rows;
+  struct Kind {
+    const char* name;
+    LockServiceKind kind;
+  };
+  const Kind kinds[] = {
+      {"centralized", LockServiceKind::kCentralized},
+      {"primary-backup", LockServiceKind::kPrimaryBackup},
+      {"distributed", LockServiceKind::kDistributed},
+  };
+  for (const Kind& k : kinds) {
+    auto r = RunKind(k.kind);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", k.name, r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-16s  %18.2f  %16.2f\n", k.name, r->handoff_ms, r->cold_ms);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s,%.3f,%.3f", k.name, r->handoff_ms, r->cold_ms);
+    rows.push_back(buf);
+  }
+  std::printf("\npaper: the primary/backup variant pays a Petal write per lock state\n"
+              "change (\"performance for the common case is poorer\"); the distributed\n"
+              "implementation matches the centralized one while tolerating faults\n");
+  WriteCsv("ablation_lockservice", "impl,handoff_ms,create_ms", rows);
+  return 0;
+}

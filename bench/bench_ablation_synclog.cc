@@ -1,0 +1,65 @@
+// Ablation (§4): synchronous vs asynchronous metadata logging, with and
+// without NVRAM. The paper: "Optionally, we allow the log records to be
+// written synchronously. This offers slightly better failure semantics at
+// the cost of increased latency" — and separately notes that even with
+// synchronous logging performance remains good because the log is allocated
+// in large physically contiguous blocks and NVRAM absorbs the latency.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "src/base/histogram.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+namespace {
+
+StatusOr<double> CreateLatencyMs(bool sync_log, bool nvram) {
+  ClusterOptions options = PaperClusterOptions(nvram);
+  options.node.fs.sync_log = sync_log;
+  Cluster cluster(options);
+  RETURN_IF_ERROR(cluster.Start());
+  ASSIGN_OR_RETURN(FrangipaniNode * node, cluster.AddFrangipani());
+  FrangipaniFs* fs = node->fs();
+  Histogram latency;
+  for (int i = 0; i < 80; ++i) {
+    double t0 = NowSeconds();
+    RETURN_IF_ERROR(fs->Create("/f" + std::to_string(i)).status());
+    latency.Record((NowSeconds() - t0) * 1000);
+  }
+  return latency.Percentile(0.5);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: asynchronous vs synchronous metadata logging (§4)\n\n");
+  std::printf("%-28s  create latency (ms)\n", "configuration");
+  std::vector<std::string> rows;
+  struct Cfg {
+    const char* name;
+    bool sync_log;
+    bool nvram;
+  };
+  const Cfg cfgs[] = {
+      {"async log, raw disks", false, false},
+      {"async log, NVRAM", false, true},
+      {"sync log, raw disks", true, false},
+      {"sync log, NVRAM", true, true},
+  };
+  for (const Cfg& c : cfgs) {
+    auto r = CreateLatencyMs(c.sync_log, c.nvram);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", c.name, r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-28s  %10.2f\n", c.name, *r);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s,%.3f", c.name, *r);
+    rows.push_back(buf);
+  }
+  std::printf("\npaper: async logging keeps metadata latency low; sync logging costs a\n"
+              "log write per op on raw disks but stays cheap with NVRAM (contiguous log)\n");
+  WriteCsv("ablation_synclog", "config,create_ms", rows);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 6: uncached-read scaling. N Frangipani machines simultaneously
+// read the same set of files (one large file here); aggregate throughput
+// should scale nearly linearly (each machine saturates its own link; Petal's
+// seven servers have ample aggregate bandwidth). Paper shows near-linear
+// speedup to the limits of its testbed.
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+int main() {
+  constexpr uint64_t kFileBytes = 4ull << 20;
+  std::printf("Figure 6: uncached read scaling (aggregate MB/s)\n\n");
+  std::printf("machines  aggregate  per-machine  linear-ref\n");
+  std::vector<std::string> rows;
+  double base = 0;
+
+  Cluster cluster(PaperClusterOptions(/*nvram=*/true));
+  if (!cluster.Start().ok()) {
+    return 1;
+  }
+  // Six machines; machine 0 writes the shared file once.
+  for (int m = 0; m < 6; ++m) {
+    if (!cluster.AddFrangipani().ok()) {
+      return 1;
+    }
+  }
+  {
+    auto ino = cluster.fs(0)->Create("/shared");
+    Bytes unit(64 * 1024, 0x5C);
+    for (uint64_t off = 0; off < kFileBytes; off += unit.size()) {
+      (void)cluster.fs(0)->Write(*ino, off, unit);
+    }
+    (void)cluster.fs(0)->SyncAll();
+  }
+
+  for (int machines : {1, 2, 3, 4, 5, 6}) {
+    for (int m = 0; m < 6; ++m) {
+      (void)cluster.fs(m)->DropCaches();
+    }
+    std::vector<std::thread> readers;
+    std::vector<double> mbs(machines);
+    double t0 = NowSeconds();
+    for (int m = 0; m < machines; ++m) {
+      readers.emplace_back([&, m] {
+        auto ino = cluster.fs(m)->Lookup("/shared");
+        if (ino.ok()) {
+          auto r = StreamRead(cluster.fs(m), *ino, kFileBytes);
+          mbs[m] = r.ok() ? *r : 0;
+        }
+      });
+    }
+    for (auto& t : readers) {
+      t.join();
+    }
+    double secs = NowSeconds() - t0;
+    double aggregate = machines * (kFileBytes / 1048576.0) / secs;
+    if (machines == 1) {
+      base = aggregate;
+    }
+    std::printf("   %d       %7.1f     %7.1f     %7.1f\n", machines, aggregate,
+                aggregate / machines, base * machines);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%.2f,%.2f", machines, aggregate, base * machines);
+    rows.push_back(buf);
+  }
+  std::printf("\npaper: near-linear scaling (dotted linear-speedup reference)\n");
+  WriteCsv("fig6_read_scaling", "machines,aggregate_mbs,linear_ref_mbs", rows);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Figure 8: reader/writer contention on one file. One machine rewrites a
+// shared file while N other machines sequentially read it, forcing the lock
+// to ping-pong (each grant flushes the writer's data to Petal and
+// invalidates the readers' caches).
+//
+// Paper's surprise: with read-ahead ON, read throughput flattens out (~2
+// MB/s, ~10% of the uncontended rate) because prefetched data is invalidated
+// before it is delivered — wasted work that slows the readers' lock
+// requests. With read-ahead OFF, throughput scales with readers as the fair
+// lock service round-robins grants.
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+namespace {
+
+constexpr uint64_t kFileBytes = 4ull << 20;
+constexpr double kWindowSeconds = 4.0;
+
+struct Sample {
+  double read_mbs = 0;
+  uint64_t wasted_prefetches = 0;
+};
+
+Sample RunContention(int readers, bool readahead) {
+  Cluster cluster(PaperClusterOptions(/*nvram=*/true));
+  if (!cluster.Start().ok()) {
+    return {};
+  }
+  for (int m = 0; m < readers + 1; ++m) {
+    if (!cluster.AddFrangipani().ok()) {
+      return {};
+    }
+  }
+  for (int m = 0; m <= readers; ++m) {
+    cluster.fs(m)->SetReadahead(readahead);
+  }
+  auto ino = cluster.fs(0)->Create("/contended");
+  Bytes unit(64 * 1024, 0x3C);
+  for (uint64_t off = 0; off < kFileBytes; off += unit.size()) {
+    (void)cluster.fs(0)->Write(*ino, off, unit);
+  }
+  (void)cluster.fs(0)->SyncAll();
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> bytes_read{0};
+  // The writer rewrites the entire file, over and over.
+  std::thread writer([&] {
+    while (!stop.load()) {
+      for (uint64_t off = 0; off < kFileBytes && !stop.load(); off += unit.size()) {
+        (void)cluster.fs(0)->Write(*ino, off, unit);
+      }
+    }
+  });
+  std::vector<std::thread> reader_threads;
+  for (int r = 1; r <= readers; ++r) {
+    reader_threads.emplace_back([&, r] {
+      Bytes buf;
+      while (!stop.load()) {
+        for (uint64_t off = 0; off < kFileBytes && !stop.load(); off += 64 * 1024) {
+          auto n = cluster.fs(r)->Read(*ino, off, 64 * 1024, &buf);
+          if (n.ok()) {
+            bytes_read.fetch_add(*n);
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(kWindowSeconds));
+  stop.store(true);
+  writer.join();
+  for (auto& t : reader_threads) {
+    t.join();
+  }
+  Sample s;
+  s.read_mbs = bytes_read.load() / kWindowSeconds / (1 << 20);
+  for (int r = 1; r <= readers; ++r) {
+    s.wasted_prefetches += cluster.fs(r)->Stats().prefetch_wasted;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 8: reader/writer contention (aggregate read MB/s)\n\n");
+  std::printf("readers   with read-ahead   (wasted prefetches)   without read-ahead\n");
+  std::vector<std::string> rows;
+  for (int readers : {1, 2, 3, 4, 5, 6}) {
+    Sample with = RunContention(readers, /*readahead=*/true);
+    Sample without = RunContention(readers, /*readahead=*/false);
+    std::printf("   %d        %8.2f          (%6llu)            %8.2f\n", readers,
+                with.read_mbs, static_cast<unsigned long long>(with.wasted_prefetches),
+                without.read_mbs);
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%d,%.3f,%.3f,%llu", readers, with.read_mbs,
+                  without.read_mbs, static_cast<unsigned long long>(with.wasted_prefetches));
+    rows.push_back(buf);
+  }
+  std::printf("\npaper: with read-ahead the curve flattens (~10%% of uncontended); without\n"
+              "read-ahead it scales with the number of readers\n");
+  WriteCsv("fig8_rw_contention", "readers,with_readahead_mbs,without_readahead_mbs,wasted",
+           rows);
+  return 0;
+}

@@ -1,0 +1,177 @@
+// Table 2: latency of metadata-heavy operations under the four
+// configurations of Table 1. Uses google-benchmark for the measurement
+// loop; each benchmark runs one operation per iteration on a fresh name.
+// Paper claim (§9.2): Frangipani has good (low) metadata latency because
+// updates are logged asynchronously; with synchronous logging it is still
+// good because the log is contiguous and NVRAM absorbs the writes.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/harness.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+namespace {
+
+// One lazily-built environment per (frangipani?, nvram?) configuration,
+// shared by the benchmarks of that configuration.
+struct Env {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<AdvFsLike> advfs;
+  FrangipaniFs* fs = nullptr;
+  uint64_t counter = 0;
+};
+
+Env* GetEnv(bool frangipani, bool nvram) {
+  static Env envs[4];
+  Env& env = envs[(frangipani ? 2 : 0) + (nvram ? 1 : 0)];
+  if (env.fs != nullptr) {
+    return &env;
+  }
+  if (frangipani) {
+    env.cluster = std::make_unique<Cluster>(PaperClusterOptions(nvram));
+    if (!env.cluster->Start().ok()) {
+      return nullptr;
+    }
+    auto node = env.cluster->AddFrangipani();
+    if (!node.ok()) {
+      return nullptr;
+    }
+    env.fs = (*node)->fs();
+  } else {
+    env.advfs = std::make_unique<AdvFsLike>(PaperAdvFsOptions(nvram));
+    if (!env.advfs->FormatAndMount().ok()) {
+      return nullptr;
+    }
+    env.fs = env.advfs->fs();
+  }
+  (void)env.fs->Mkdir("/ops");
+  // Spread fresh names over subdirectories so directory scans stay O(1) as
+  // iteration counts grow.
+  for (int d = 0; d < 16; ++d) {
+    (void)env.fs->Mkdir("/ops/" + std::to_string(d));
+  }
+  return &env;
+}
+
+std::string Fresh(Env* env, const char* stem) {
+  uint64_t n = env->counter++;
+  return "/ops/" + std::to_string(n % 16) + "/" + stem + std::to_string(n);
+}
+
+void BM_Create(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->fs->Create(Fresh(env, "c")));
+  }
+}
+
+void BM_Mkdir(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->fs->Mkdir(Fresh(env, "d")));
+  }
+}
+
+void BM_UnlinkCreatePair(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  for (auto _ : state) {
+    std::string path = Fresh(env, "u");
+    (void)env->fs->Create(path);
+    (void)env->fs->Unlink(path);
+  }
+}
+
+void BM_StatCold(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  std::string path = Fresh(env, "s");
+  (void)env->fs->Create(path);
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)env->fs->DropCaches();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(env->fs->Stat(path));
+  }
+}
+
+void BM_StatWarm(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  std::string path = Fresh(env, "w");
+  (void)env->fs->Create(path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->fs->Stat(path));
+  }
+}
+
+void BM_Symlink(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->fs->Symlink("/ops/target", Fresh(env, "l")));
+  }
+}
+
+void BM_Rename(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  std::string path = Fresh(env, "r");
+  (void)env->fs->Create(path);
+  for (auto _ : state) {
+    std::string next = Fresh(env, "r");
+    (void)env->fs->Rename(path, next);
+    path = next;
+  }
+}
+
+void BM_AppendFsync1K(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  auto ino = env->fs->Create(Fresh(env, "a"));
+  uint64_t off = 0;
+  Bytes data(1024, 0x42);
+  for (auto _ : state) {
+    (void)env->fs->Write(*ino, off, data);
+    (void)env->fs->Fsync(*ino);
+    off += data.size();
+    if (off > 48 * 1024) {
+      state.PauseTiming();
+      (void)env->fs->Truncate(*ino, 0);
+      off = 0;
+      state.ResumeTiming();
+    }
+  }
+}
+
+void Register(const char* name, void (*fn)(benchmark::State&)) {
+  struct Cfg {
+    const char* label;
+    int frangipani;
+    int nvram;
+  };
+  const Cfg cfgs[] = {{"AdvFS_Raw", 0, 0},
+                      {"AdvFS_NVR", 0, 1},
+                      {"Frangipani_Raw", 1, 0},
+                      {"Frangipani_NVR", 1, 1}};
+  for (const Cfg& c : cfgs) {
+    benchmark::RegisterBenchmark((std::string(name) + "/" + c.label).c_str(), fn)
+        ->Args({c.frangipani, c.nvram})
+        ->Unit(benchmark::kMicrosecond)
+        ->Iterations(60);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Register("Create", BM_Create);
+  Register("Mkdir", BM_Mkdir);
+  Register("UnlinkCreatePair", BM_UnlinkCreatePair);
+  Register("StatWarm", BM_StatWarm);
+  Register("StatCold", BM_StatCold);
+  Register("Symlink", BM_Symlink);
+  Register("Rename", BM_Rename);
+  Register("AppendFsync1K", BM_AppendFsync1K);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "bench/harness.h"
+
+#include <sys/resource.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+
+#include <chrono>
+#include <thread>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace frangipani {
+namespace bench {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+ClusterOptions PaperClusterOptions(bool nvram) {
+  ClusterOptions options;
+  options.petal_servers = 7;    // §9.1
+  options.disks_per_petal = 9;  // 9 RZ29 drives per server
+  options.lock_servers = 3;
+  options.lock_kind = LockServiceKind::kDistributed;
+  options.enable_timing = true;
+  options.nvram = nvram;
+  options.link = LinkParams{Duration(200), 17.0 * (1 << 20)};  // ~155 Mbit/s
+  options.disk.seek_time = Duration(9000);                     // 9 ms
+  options.disk.transfer_bps = 6.0 * (1 << 20);                 // 6 MB/s
+  options.lease_duration = Duration(30'000'000);               // paper: 30 s
+  options.node.sync_period = Duration(1'000'000);   // update demon (scaled 30 s -> 1 s)
+  options.node.log_flush_period = Duration(100'000);
+  options.node.fs.io_threads = 8;
+  options.node.fs.readahead_units = 8;
+  return options;
+}
+
+AdvFsOptions PaperAdvFsOptions(bool nvram) {
+  AdvFsOptions options;
+  options.num_disks = 8;  // two fast SCSI strings, 8 RZ29s
+  options.disk.seek_time = Duration(9000);
+  options.disk.transfer_bps = 6.0 * (1 << 20);
+  options.disk.nvram = nvram;
+  options.disk.timing_enabled = true;
+  options.string_bps = 7.5 * (1 << 20);  // two fast-SCSI strings (see header)
+  options.fs.io_threads = 8;
+  options.fs.readahead_units = 8;
+  options.fs.fence_writes = false;
+  return options;
+}
+
+namespace {
+
+void SpinCpu(double seconds) {
+  // Models compilation think time. Each simulated machine has its own CPU in
+  // the paper's testbed, so this must not contend on the single host core:
+  // model it as a sleep (the same real-time dilation used for disks/links).
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+Bytes SourceText(size_t n, uint32_t seed) {
+  Bytes out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>((i * 31 + seed * 7) % 251);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<MabResult> RunMab(FrangipaniFs* fs, const std::string& base, MabConfig config) {
+  MabResult result;
+  RETURN_IF_ERROR(fs->Mkdir(base));
+
+  // Phase 1: create directories.
+  double t0 = NowSeconds();
+  for (int d = 0; d < config.dirs; ++d) {
+    RETURN_IF_ERROR(fs->Mkdir(base + "/dir" + std::to_string(d)));
+  }
+  result.create_dirs_s = NowSeconds() - t0;
+
+  // Phase 2: copy files into the tree.
+  t0 = NowSeconds();
+  std::vector<std::string> paths;
+  for (int f = 0; f < config.files; ++f) {
+    std::string path =
+        base + "/dir" + std::to_string(f % config.dirs) + "/src" + std::to_string(f) + ".c";
+    ASSIGN_OR_RETURN(uint64_t ino, fs->Create(path));
+    RETURN_IF_ERROR(fs->Write(ino, 0, SourceText(config.file_bytes, f)));
+    paths.push_back(path);
+  }
+  if (config.fsync_copies) {
+    RETURN_IF_ERROR(fs->SyncAll());
+  }
+  result.copy_files_s = NowSeconds() - t0;
+
+  // Phase 3: directory status (recursive stat of every entry).
+  t0 = NowSeconds();
+  for (int d = 0; d < config.dirs; ++d) {
+    ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                     fs->Readdir(base + "/dir" + std::to_string(d)));
+    for (const DirEntry& e : entries) {
+      RETURN_IF_ERROR(fs->StatIno(e.ino).status());
+    }
+  }
+  result.dir_status_s = NowSeconds() - t0;
+
+  // Phase 4: scan every byte of every file (uncached, as after a fresh
+  // mount).
+  RETURN_IF_ERROR(fs->DropCaches());
+  t0 = NowSeconds();
+  Bytes buf;
+  for (const std::string& path : paths) {
+    ASSIGN_OR_RETURN(uint64_t ino, fs->Lookup(path));
+    RETURN_IF_ERROR(fs->Read(ino, 0, config.file_bytes, &buf).status());
+  }
+  result.scan_files_s = NowSeconds() - t0;
+
+  // Phase 5: "compile": read the sources again, burn CPU, emit objects.
+  t0 = NowSeconds();
+  for (const std::string& path : paths) {
+    ASSIGN_OR_RETURN(uint64_t ino, fs->Lookup(path));
+    RETURN_IF_ERROR(fs->Read(ino, 0, config.file_bytes, &buf).status());
+  }
+  SpinCpu(config.compile_cpu_s);
+  for (int o = 0; o < config.compile_outputs; ++o) {
+    std::string path = base + "/dir" + std::to_string(o % config.dirs) + "/obj" +
+                       std::to_string(o) + ".o";
+    ASSIGN_OR_RETURN(uint64_t ino, fs->Create(path));
+    RETURN_IF_ERROR(fs->Write(ino, 0, SourceText(config.file_bytes * 2, o)));
+  }
+  result.compile_s = NowSeconds() - t0;
+  return result;
+}
+
+StatusOr<double> StreamWrite(FrangipaniFs* fs, uint64_t ino, uint64_t total) {
+  Bytes unit(64 * 1024, 0xA5);
+  double t0 = NowSeconds();
+  for (uint64_t off = 0; off < total; off += unit.size()) {
+    RETURN_IF_ERROR(fs->Write(ino, off, unit));
+  }
+  RETURN_IF_ERROR(fs->Fsync(ino));
+  double secs = NowSeconds() - t0;
+  return static_cast<double>(total) / secs / (1 << 20);
+}
+
+StatusOr<double> StreamRead(FrangipaniFs* fs, uint64_t ino, uint64_t total) {
+  Bytes buf;
+  double t0 = NowSeconds();
+  uint64_t got = 0;
+  for (uint64_t off = 0; off < total; off += 64 * 1024) {
+    ASSIGN_OR_RETURN(size_t n, fs->Read(ino, off, 64 * 1024, &buf));
+    got += n;
+    if (n == 0) {
+      break;
+    }
+  }
+  double secs = NowSeconds() - t0;
+  return static_cast<double>(got) / secs / (1 << 20);
+}
+
+void CpuMeter::Start() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  cpu_start_ = usage.ru_utime.tv_sec + usage.ru_utime.tv_usec * 1e-6 + usage.ru_stime.tv_sec +
+               usage.ru_stime.tv_usec * 1e-6;
+  wall_start_ = NowSeconds();
+}
+
+std::pair<double, double> CpuMeter::Stop() {
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  double cpu = usage.ru_utime.tv_sec + usage.ru_utime.tv_usec * 1e-6 +
+               usage.ru_stime.tv_sec + usage.ru_stime.tv_usec * 1e-6 - cpu_start_;
+  double wall = NowSeconds() - wall_start_;
+  return {wall, wall > 0 ? cpu / wall : 0};
+}
+
+void WriteCsv(const std::string& name, const std::string& header,
+              const std::vector<std::string>& rows) {
+  std::filesystem::create_directories("bench_results");
+  std::string path = "bench_results/" + name + ".csv";
+  std::ofstream out(path, std::ios::trunc);
+  out << header << "\n";
+  for (const std::string& row : rows) {
+    out << row << "\n";
+  }
+  std::printf("[csv written to %s]\n", path.c_str());
+}
+
+}  // namespace bench
+}  // namespace frangipani

@@ -1,0 +1,10 @@
+#include "src/base/clock.h"
+
+namespace frangipani {
+
+SystemClock* SystemClock::Get() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace frangipani

@@ -1,0 +1,47 @@
+// Clock abstraction. Lease and heartbeat logic takes a Clock* so unit tests
+// can drive expiry deterministically with ManualClock; production code uses
+// the process-wide SystemClock (monotonic).
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace frangipani {
+
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+class SystemClock : public Clock {
+ public:
+  TimePoint Now() const override { return std::chrono::steady_clock::now(); }
+
+  // Process-wide singleton.
+  static SystemClock* Get();
+};
+
+// Test clock: starts at an arbitrary epoch, advanced explicitly.
+class ManualClock : public Clock {
+ public:
+  ManualClock() : now_us_(1'000'000'000) {}
+
+  TimePoint Now() const override {
+    return TimePoint(std::chrono::microseconds(now_us_.load(std::memory_order_acquire)));
+  }
+
+  void Advance(Duration d) { now_us_.fetch_add(d.count(), std::memory_order_acq_rel); }
+
+ private:
+  std::atomic<int64_t> now_us_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,15 @@
+// CRC-32C (Castagnoli), table-driven. Used to checksum log records so torn or
+// garbage log sectors are detected during recovery.
+#ifndef SRC_BASE_CRC32_H_
+#define SRC_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace frangipani {
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_CRC32_H_

@@ -1,0 +1,67 @@
+// Simple latency/throughput statistics accumulator for the bench harnesses.
+#ifndef SRC_BASE_HISTOGRAM_H_
+#define SRC_BASE_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace frangipani {
+
+class Histogram {
+ public:
+  void Record(double v) {
+    std::lock_guard<std::mutex> guard(mu_);
+    samples_.push_back(v);
+  }
+
+  size_t count() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return samples_.size();
+  }
+
+  double Mean() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    double sum = 0;
+    for (double v : samples_) {
+      sum += v;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Percentile(double p) const {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  }
+
+  double Max() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (samples_.empty()) {
+      return 0;
+    }
+    return *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> guard(mu_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> samples_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+#include "src/base/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+
+namespace frangipani {
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("FRANGIPANI_LOG");
+  if (env == nullptr) {
+    return LogLevel::kWarn;
+  }
+  std::string_view v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+LogLevel g_min_level = ParseEnvLevel();
+std::mutex g_log_mu;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel MinLogLevel() { return g_min_level; }
+void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << LevelTag(level) << " [" << (base != nullptr ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  double t = std::chrono::duration<double>(Clock::now() - start).count();
+  std::lock_guard<std::mutex> guard(g_log_mu);
+  std::fprintf(stderr, "%9.4f %s\n", t, stream_.str().c_str());
+  if (level_ == LogLevel::kError && stream_.str().find("CHECK failed") != std::string::npos) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace frangipani

@@ -1,0 +1,56 @@
+// Minimal leveled logging. FLOG(INFO) << "..."; level filtered by
+// SetMinLogLevel or the FRANGIPANI_LOG env var (debug|info|warn|error|off).
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+
+namespace frangipani {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+LogLevel MinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Fatal check macro: always active, aborts with message.
+#define FGP_CHECK(cond)                                                           \
+  if (!(cond))                                                                    \
+  ::frangipani::LogMessage(::frangipani::LogLevel::kError, __FILE__, __LINE__)    \
+          .stream()                                                               \
+      << "CHECK failed: " #cond " "
+
+#define FLOG_DEBUG ::frangipani::LogLevel::kDebug
+#define FLOG_INFO ::frangipani::LogLevel::kInfo
+#define FLOG_WARN ::frangipani::LogLevel::kWarn
+#define FLOG_ERROR ::frangipani::LogLevel::kError
+
+#define FLOG(level)                                                      \
+  if (FLOG_##level >= ::frangipani::MinLogLevel())                       \
+  ::frangipani::LogMessage(FLOG_##level, __FILE__, __LINE__).stream()
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_LOGGING_H_

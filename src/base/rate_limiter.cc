@@ -1,0 +1,44 @@
+#include "src/base/rate_limiter.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace frangipani {
+
+TimePoint RateLimiter::Acquire(uint64_t bytes) {
+  std::lock_guard<std::mutex> guard(mu_);
+  total_bytes_ += bytes;
+  TimePoint now = std::chrono::steady_clock::now();
+  if (bytes_per_sec_ <= 0) {
+    return now;
+  }
+  TimePoint start = std::max(now, next_free_);
+  auto busy = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(bytes) / bytes_per_sec_));
+  next_free_ = start + busy;
+  return next_free_;
+}
+
+void RateLimiter::Transfer(uint64_t bytes) {
+  TimePoint deadline = Acquire(bytes);
+  if (deadline > std::chrono::steady_clock::now()) {
+    std::this_thread::sleep_until(deadline);
+  }
+}
+
+void RateLimiter::set_rate(double bytes_per_sec) {
+  std::lock_guard<std::mutex> guard(mu_);
+  bytes_per_sec_ = bytes_per_sec;
+}
+
+double RateLimiter::rate() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return bytes_per_sec_;
+}
+
+uint64_t RateLimiter::total_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return total_bytes_;
+}
+
+}  // namespace frangipani

@@ -1,0 +1,44 @@
+// FIFO link/disk bandwidth model. A transfer of S bytes over a resource with
+// bandwidth B occupies the resource for S/B seconds; concurrent transfers
+// queue. Acquire() reserves a slot and returns the completion deadline; the
+// caller sleeps until it (real-time dilation: modeled delays are real sleeps,
+// which is what makes scaling experiments faithful on a single host).
+#ifndef SRC_BASE_RATE_LIMITER_H_
+#define SRC_BASE_RATE_LIMITER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "src/base/clock.h"
+
+namespace frangipani {
+
+class RateLimiter {
+ public:
+  // bytes_per_sec == 0 means unlimited (Acquire returns now).
+  explicit RateLimiter(double bytes_per_sec = 0) : bytes_per_sec_(bytes_per_sec) {}
+
+  // Reserves capacity for `bytes` and returns the time at which the transfer
+  // completes. Does not sleep; callers sleep_until the returned deadline.
+  TimePoint Acquire(uint64_t bytes);
+
+  // Blocks the calling thread until the reserved transfer completes.
+  void Transfer(uint64_t bytes);
+
+  void set_rate(double bytes_per_sec);
+  double rate() const;
+
+  // Total bytes ever pushed through (for utilization accounting in benches).
+  uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  double bytes_per_sec_;
+  TimePoint next_free_{};
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_RATE_LIMITER_H_

@@ -1,0 +1,48 @@
+// Deterministic, seedable PRNG (splitmix64) for workload generators and
+// property tests. Not for cryptographic use.
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace frangipani {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  double Double() { return static_cast<double>(Next() >> 11) / static_cast<double>(1ull << 53); }
+
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+  std::string Name(size_t len) {
+    static const char kAlpha[] = "abcdefghijklmnopqrstuvwxyz0123456789_";
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(kAlpha[Below(sizeof(kAlpha) - 1)]);
+    }
+    return s;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_RNG_H_

@@ -1,0 +1,81 @@
+#include "src/base/status.h"
+
+namespace frangipani {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kStaleLease:
+      return "STALE_LEASE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kNotSupported:
+      return "NOT_SUPPORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status OkStatus() { return Status(); }
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) { return Status(StatusCode::kNotFound, std::move(msg)); }
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status OutOfRange(std::string msg) { return Status(StatusCode::kOutOfRange, std::move(msg)); }
+Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+Status Unavailable(std::string msg) { return Status(StatusCode::kUnavailable, std::move(msg)); }
+Status DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+Status Aborted(std::string msg) { return Status(StatusCode::kAborted, std::move(msg)); }
+Status StaleLease(std::string msg) { return Status(StatusCode::kStaleLease, std::move(msg)); }
+Status DataLoss(std::string msg) { return Status(StatusCode::kDataLoss, std::move(msg)); }
+Status IoError(std::string msg) { return Status(StatusCode::kIoError, std::move(msg)); }
+Status NotSupported(std::string msg) { return Status(StatusCode::kNotSupported, std::move(msg)); }
+Status Internal(std::string msg) { return Status(StatusCode::kInternal, std::move(msg)); }
+
+}  // namespace frangipani

@@ -1,0 +1,136 @@
+// Status and StatusOr<T>: exception-free error propagation used across the
+// whole code base. Modeled after the usual absl-style vocabulary but kept
+// dependency-free.
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace frangipani {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kPermissionDenied,
+  kFailedPrecondition,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnavailable,        // transient: retry may succeed (e.g. partitioned link)
+  kDeadlineExceeded,
+  kAborted,            // optimistic concurrency retry (two-phase lock loop)
+  kStaleLease,         // lease expired: mount is poisoned
+  kDataLoss,           // unrecoverable corruption
+  kIoError,
+  kNotSupported,
+  kInternal,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors.
+Status OkStatus();
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status PermissionDenied(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status OutOfRange(std::string msg);
+Status ResourceExhausted(std::string msg);
+Status Unavailable(std::string msg);
+Status DeadlineExceeded(std::string msg);
+Status Aborted(std::string msg);
+Status StaleLease(std::string msg);
+Status DataLoss(std::string msg);
+Status IoError(std::string msg);
+Status NotSupported(std::string msg);
+Status Internal(std::string msg);
+
+// A value-or-error holder. `value()` asserts on error in debug builds; callers
+// are expected to check `ok()` first or use the ASSIGN_OR_RETURN macro.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define FGP_CONCAT_INNER(a, b) a##b
+#define FGP_CONCAT(a, b) FGP_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                \
+  do {                                       \
+    ::frangipani::Status _st = (expr);       \
+    if (!_st.ok()) {                         \
+      return _st;                            \
+    }                                        \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto FGP_CONCAT(_st_or_, __LINE__) = (expr);             \
+  if (!FGP_CONCAT(_st_or_, __LINE__).ok()) {               \
+    return FGP_CONCAT(_st_or_, __LINE__).status();         \
+  }                                                        \
+  lhs = std::move(FGP_CONCAT(_st_or_, __LINE__)).value()
+
+}  // namespace frangipani
+
+#endif  // SRC_BASE_STATUS_H_

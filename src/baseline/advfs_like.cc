@@ -1,0 +1,24 @@
+#include "src/baseline/advfs_like.h"
+
+namespace frangipani {
+
+AdvFsLike::AdvFsLike(AdvFsOptions options) : options_(options) {
+  device_ = std::make_unique<LocalDevice>(options_.num_disks, options_.disk,
+                                          options_.string_bps);
+}
+
+Status AdvFsLike::FormatAndMount() {
+  RETURN_IF_ERROR(FrangipaniFs::Mkfs(device_.get(), options_.geometry));
+  fs_ = std::make_unique<FrangipaniFs>(device_.get(), &locks_, SystemClock::Get(),
+                                       options_.fs);
+  return fs_->Mount();
+}
+
+Status AdvFsLike::Unmount() {
+  if (!fs_) {
+    return OkStatus();
+  }
+  return fs_->Unmount();
+}
+
+}  // namespace frangipani

@@ -1,0 +1,44 @@
+#include "src/fs/backup.h"
+
+#include "src/base/logging.h"
+#include "src/fs/device.h"
+#include "src/fs/wal.h"
+
+namespace frangipani {
+
+StatusOr<VdiskId> SnapshotCrashConsistent(PetalClient* petal, VdiskId src) {
+  return petal->Snapshot(src);
+}
+
+StatusOr<VdiskId> SnapshotWithBarrier(LockProvider* locks, PetalClient* petal, VdiskId src) {
+  // Revoking every server's shared hold forces each to block modifications
+  // and clean its cache (FrangipaniFs::OnLockRevoked handles kLockBarrier by
+  // flushing everything).
+  RETURN_IF_ERROR(locks->Acquire(kLockBarrier, LockMode::kExclusive));
+  StatusOr<VdiskId> snap = petal->Snapshot(src);
+  locks->Release(kLockBarrier);
+  return snap;
+}
+
+StatusOr<VdiskId> RestoreSnapshot(PetalClient* petal, VdiskId snapshot,
+                                  const Geometry& geometry) {
+  // "Copying it back to a new Petal virtual disk and running recovery on
+  // each log" (§8). The copy is a writable clone (copy-on-write).
+  ASSIGN_OR_RETURN(VdiskId restored, petal->Clone(snapshot));
+  PetalDevice device(petal, restored);
+  uint64_t total_applied = 0;
+  for (uint32_t slot = 0; slot < geometry.num_logs; ++slot) {
+    StatusOr<uint64_t> applied = ReplayLog(&device, geometry, slot, 0);
+    if (!applied.ok()) {
+      return applied.status();
+    }
+    if (*applied > 0) {
+      RETURN_IF_ERROR(EraseLog(&device, geometry, slot, 0));
+      total_applied += *applied;
+    }
+  }
+  FLOG(INFO) << "restore: applied " << total_applied << " logged updates";
+  return restored;
+}
+
+}  // namespace frangipani

@@ -1,0 +1,37 @@
+// Online backup (§8). Two schemes, both built on Petal snapshots:
+//
+//  1. Crash-consistent: snapshot the virtual disk at any instant. The copy
+//     includes all logs; restoring means running recovery on each log, the
+//     same as recovering from a system-wide power failure.
+//
+//  2. Barrier-consistent: force every Frangipani server into a barrier
+//     implemented with an ordinary global lock (kLockBarrier). Servers hold
+//     it shared for every modifying operation; the backup process requests
+//     it exclusive, which makes every server block new modifications and
+//     clean its dirty cache before releasing. The snapshot taken while the
+//     backup holds the lock needs no recovery and can be mounted read-only.
+#ifndef SRC_FS_BACKUP_H_
+#define SRC_FS_BACKUP_H_
+
+#include "src/fs/layout.h"
+#include "src/fs/lock_provider.h"
+#include "src/petal/petal_client.h"
+
+namespace frangipani {
+
+// Scheme 1: crash-consistent snapshot (no coordination).
+StatusOr<VdiskId> SnapshotCrashConsistent(PetalClient* petal, VdiskId src);
+
+// Scheme 2: barrier-consistent snapshot. `locks` is the backup process's own
+// lock provider (a clerk with the table open). Restores nothing; the
+// returned snapshot is clean and mountable read-only with no recovery.
+StatusOr<VdiskId> SnapshotWithBarrier(LockProvider* locks, PetalClient* petal, VdiskId src);
+
+// Restores a (crash-consistent) snapshot onto a fresh virtual disk by
+// copying content and running recovery on every log. Returns the new vdisk.
+StatusOr<VdiskId> RestoreSnapshot(PetalClient* petal, VdiskId snapshot,
+                                  const Geometry& geometry);
+
+}  // namespace frangipani
+
+#endif  // SRC_FS_BACKUP_H_

@@ -1,0 +1,350 @@
+#include "src/fs/block_cache.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+BlockCache::BlockCache(BlockDevice* device, LogWriter* wal, BlockCacheOptions options,
+                       std::function<int64_t()> lease_expiry_us)
+    : device_(device),
+      wal_(wal),
+      options_(options),
+      lease_expiry_us_(std::move(lease_expiry_us)) {
+  io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
+}
+
+BlockCache::~BlockCache() = default;
+
+StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    // Ride an in-flight prefetch rather than duplicating its device read.
+    cv_.wait(lk, [&] { return prefetch_inflight_.count(addr) == 0; });
+    auto it = entries_.find(addr);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.lru_seq = ++lru_counter_;
+      return it->second.data;
+    }
+    ++misses_;
+  }
+  Bytes data;
+  RETURN_IF_ERROR(device_->Read(addr, size, &data));
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = entries_.find(addr);
+  if (it != entries_.end()) {
+    return it->second.data;  // someone raced us in; theirs may be dirtier
+  }
+  Entry e;
+  e.data = data;
+  e.lock = lock;
+  e.lru_seq = ++lru_counter_;
+  bytes_ += data.size();
+  entries_.emplace(addr, std::move(e));
+  by_lock_[lock].insert(addr);
+  EvictIfNeededLocked(lk);
+  return data;
+}
+
+Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  Entry& e = entries_[addr];
+  if (e.data.empty()) {
+    by_lock_[lock].insert(addr);
+  } else {
+    bytes_ -= e.data.size();
+    if (e.dirty) {
+      dirty_bytes_ -= e.data.size();
+    }
+  }
+  e.lock = lock;
+  e.data = std::move(data);
+  e.dirty = true;
+  e.dirty_gen++;
+  e.pin_lsn = std::max(e.pin_lsn, pin_lsn);
+  e.lru_seq = ++lru_counter_;
+  bytes_ += e.data.size();
+  dirty_bytes_ += e.data.size();
+
+  EvictIfNeededLocked(lk);
+
+  // Write throttling / write-behind: bring dirty data back under control.
+  while (dirty_bytes_ > options_.dirty_hiwater_bytes) {
+    std::vector<std::pair<uint64_t, uint64_t>> dirty;  // (lru, addr)
+    for (const auto& [a, entry] : entries_) {
+      if (entry.dirty && !entry.flushing) {
+        dirty.emplace_back(entry.lru_seq, a);
+      }
+    }
+    if (dirty.empty()) {
+      // Everything dirty is already being flushed; wait for progress.
+      cv_.wait(lk);
+      continue;
+    }
+    std::sort(dirty.begin(), dirty.end());
+    size_t target = options_.dirty_hiwater_bytes / 2;
+    std::vector<uint64_t> addrs;
+    size_t would_free = 0;
+    for (const auto& [lru, a] : dirty) {
+      addrs.push_back(a);
+      would_free += entries_[a].data.size();
+      if (dirty_bytes_ - would_free <= target) {
+        break;
+      }
+    }
+    RETURN_IF_ERROR(FlushSetLocked(addrs, lk));
+  }
+  return OkStatus();
+}
+
+void BlockCache::PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto eit = epochs_.find(lock);
+  uint64_t current = eit == epochs_.end() ? 0 : eit->second;
+  if (current != epoch || entries_.count(addr) > 0) {
+    return;  // lock was invalidated since the prefetch was issued, or raced
+  }
+  Entry e;
+  e.lock = lock;
+  e.lru_seq = ++lru_counter_;
+  bytes_ += data.size();
+  e.data = std::move(data);
+  entries_.emplace(addr, std::move(e));
+  by_lock_[lock].insert(addr);
+  EvictIfNeededLocked(lk);
+}
+
+bool BlockCache::BeginPrefetch(uint64_t addr, LockId lock) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (entries_.count(addr) > 0 || prefetch_inflight_.count(addr) > 0) {
+    return false;
+  }
+  prefetch_inflight_.insert(addr);
+  prefetch_by_lock_[lock]++;
+  return true;
+}
+
+void BlockCache::EndPrefetch(uint64_t addr, LockId lock) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    prefetch_inflight_.erase(addr);
+    if (--prefetch_by_lock_[lock] <= 0) {
+      prefetch_by_lock_.erase(lock);
+    }
+  }
+  cv_.notify_all();
+}
+
+uint64_t BlockCache::LockEpoch(LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = epochs_.find(lock);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+bool BlockCache::Cached(uint64_t addr) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return entries_.count(addr) > 0;
+}
+
+Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
+                                  std::unique_lock<std::mutex>& lk) {
+  // Wait out any in-flight flushes of these entries, then claim them.
+  struct Job {
+    uint64_t addr;
+    Bytes data;
+    uint64_t gen;
+    uint64_t pin_lsn;
+  };
+  std::vector<Job> jobs;
+  for (uint64_t addr : addrs) {
+    for (;;) {
+      auto it = entries_.find(addr);
+      if (it == entries_.end() || !it->second.dirty) {
+        break;
+      }
+      if (it->second.flushing) {
+        cv_.wait(lk);
+        continue;
+      }
+      it->second.flushing = true;
+      jobs.push_back({addr, it->second.data, it->second.dirty_gen, it->second.pin_lsn});
+      break;
+    }
+  }
+  if (jobs.empty()) {
+    return OkStatus();
+  }
+  uint64_t max_pin = 0;
+  for (const Job& j : jobs) {
+    max_pin = std::max(max_pin, j.pin_lsn);
+  }
+  lk.unlock();
+
+  // Write-ahead rule: the log describing these updates reaches Petal first.
+  Status st = OkStatus();
+  if (max_pin > 0 && wal_ != nullptr) {
+    st = wal_->FlushTo(max_pin);
+  }
+  std::vector<Status> results(jobs.size());
+  if (st.ok()) {
+    int64_t fence = lease_expiry_us_ ? lease_expiry_us_() : 0;
+    std::atomic<size_t> next{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      io_pool_->Submit([&, i] {
+        results[i] = device_->Write(jobs[i].addr, jobs[i].data, fence);
+        std::lock_guard<std::mutex> guard(done_mu);
+        ++done;
+        done_cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> done_lk(done_mu);
+    done_cv.wait(done_lk, [&] { return done == jobs.size(); });
+    for (const Status& r : results) {
+      if (!r.ok()) {
+        st = r;
+      }
+    }
+  }
+
+  lk.lock();
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    auto it = entries_.find(jobs[i].addr);
+    if (it == entries_.end()) {
+      continue;  // discarded while we wrote (lease loss)
+    }
+    it->second.flushing = false;
+    if (st.ok() && results[i].ok() && it->second.dirty_gen == jobs[i].gen) {
+      it->second.dirty = false;
+      it->second.pin_lsn = 0;
+      dirty_bytes_ -= it->second.data.size();
+    }
+  }
+  // Dirty data can push the cache past its capacity (dirty entries are not
+  // evictable); reclaim now that some entries are clean again.
+  EvictIfNeededLocked(lk);
+  cv_.notify_all();
+  return st;
+}
+
+Status BlockCache::FlushEntryLocked(uint64_t addr, std::unique_lock<std::mutex>& lk) {
+  return FlushSetLocked({addr}, lk);
+}
+
+Status BlockCache::FlushLock(LockId lock) {
+  std::unique_lock<std::mutex> lk(mu_);
+  auto it = by_lock_.find(lock);
+  if (it == by_lock_.end()) {
+    return OkStatus();
+  }
+  std::vector<uint64_t> addrs(it->second.begin(), it->second.end());
+  return FlushSetLocked(addrs, lk);
+}
+
+void BlockCache::InvalidateLock(LockId lock) {
+  std::unique_lock<std::mutex> lk(mu_);
+  epochs_[lock]++;
+  // Wait out in-flight read-ahead under this lock: the prefetched data will
+  // be discarded, and the time to finish reading it delays the handoff.
+  cv_.wait(lk, [&] { return prefetch_by_lock_.count(lock) == 0; });
+  auto it = by_lock_.find(lock);
+  if (it == by_lock_.end()) {
+    return;
+  }
+  for (uint64_t addr : it->second) {
+    auto eit = entries_.find(addr);
+    if (eit == entries_.end()) {
+      continue;
+    }
+    // Callers flush before invalidating; anything still dirty here is being
+    // dropped deliberately (it must not be written after the lock moves on).
+    bytes_ -= eit->second.data.size();
+    if (eit->second.dirty) {
+      dirty_bytes_ -= eit->second.data.size();
+    }
+    entries_.erase(eit);
+  }
+  by_lock_.erase(it);
+  cv_.notify_all();
+}
+
+Status BlockCache::FlushAll() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<uint64_t> addrs;
+  for (const auto& [addr, e] : entries_) {
+    if (e.dirty) {
+      addrs.push_back(addr);
+    }
+  }
+  return FlushSetLocked(addrs, lk);
+}
+
+Status BlockCache::FlushPinnedUpTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::vector<uint64_t> addrs;
+  for (const auto& [addr, e] : entries_) {
+    if (e.dirty && e.pin_lsn != 0 && e.pin_lsn <= lsn) {
+      addrs.push_back(addr);
+    }
+  }
+  return FlushSetLocked(addrs, lk);
+}
+
+void BlockCache::DiscardAll() {
+  std::lock_guard<std::mutex> guard(mu_);
+  entries_.clear();
+  by_lock_.clear();
+  for (auto& [lock, epoch] : epochs_) {
+    ++epoch;
+  }
+  bytes_ = 0;
+  dirty_bytes_ = 0;
+  cv_.notify_all();
+}
+
+void BlockCache::DropClean() {
+  std::lock_guard<std::mutex> guard(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (!it->second.dirty && !it->second.flushing) {
+      bytes_ -= it->second.data.size();
+      by_lock_[it->second.lock].erase(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t BlockCache::dirty_bytes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return dirty_bytes_;
+}
+
+void BlockCache::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
+  if (bytes_ <= options_.capacity_bytes) {
+    return;
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> clean;  // (lru, addr)
+  for (const auto& [addr, e] : entries_) {
+    if (!e.dirty && !e.flushing) {
+      clean.emplace_back(e.lru_seq, addr);
+    }
+  }
+  std::sort(clean.begin(), clean.end());
+  for (const auto& [lru, addr] : clean) {
+    if (bytes_ <= options_.capacity_bytes) {
+      break;
+    }
+    auto it = entries_.find(addr);
+    bytes_ -= it->second.data.size();
+    by_lock_[it->second.lock].erase(addr);
+    entries_.erase(it);
+  }
+}
+
+}  // namespace frangipani

@@ -1,0 +1,135 @@
+// Per-server block cache (the paper's kernel buffer pool, §2.1/§5).
+//
+// Every cached block is associated with the lock that covers it. Coherence
+// is driven entirely by the lock protocol:
+//  - a block may be cached only while its lock is held (shared or exclusive);
+//  - on write-lock release/downgrade the dirty blocks are flushed to Petal
+//    (never forwarded cache-to-cache), on release the entries are dropped;
+//  - dirty metadata blocks are pinned by the lsn of the last log record that
+//    described their update; the WAL is flushed up to that lsn before the
+//    block itself is written (write-ahead rule, §4).
+//
+// Write-behind: dirty data above a high-water mark is flushed by a pool of
+// IO threads, which is what pipelines large writes across Petal servers.
+// Prefetch inserts are epoch-guarded: an invalidation bumps the lock's epoch
+// so a read-ahead racing with a revoke cannot repopulate stale data.
+#ifndef SRC_FS_BLOCK_CACHE_H_
+#define SRC_FS_BLOCK_CACHE_H_
+
+#include <condition_variable>
+#include <functional>
+#include <list>
+#include <map>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "src/base/status.h"
+#include "src/base/thread_pool.h"
+#include "src/fs/device.h"
+#include "src/fs/wal.h"
+#include "src/lock/types.h"
+
+namespace frangipani {
+
+struct BlockCacheOptions {
+  size_t capacity_bytes = 64 << 20;
+  size_t dirty_hiwater_bytes = 8 << 20;
+  int io_threads = 8;
+};
+
+class BlockCache {
+ public:
+  BlockCache(BlockDevice* device, LogWriter* wal, BlockCacheOptions options,
+             std::function<int64_t()> lease_expiry_us);
+  ~BlockCache();
+
+  // Read-through: returns a copy of the block at `addr` (exactly `size`
+  // bytes), caching it under `lock`. The caller must hold `lock`.
+  StatusOr<Bytes> Read(uint64_t addr, uint32_t size, LockId lock);
+
+  // Installs new (dirty) content. pin_lsn = 0 for user data (not logged),
+  // else the lsn of the log record describing this update. May block when
+  // dirty data exceeds the high-water mark (write throttling).
+  Status PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn);
+
+  // Inserts clean data (prefetch). Dropped if the lock's epoch changed since
+  // `epoch` was sampled or the entry is already present.
+  void PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch);
+  uint64_t LockEpoch(LockId lock) const;
+
+  // Prefetch coordination: a reader that misses on a block that is being
+  // prefetched waits for the prefetch instead of issuing a duplicate read.
+  // BeginPrefetch returns false if the block is already cached or in flight.
+  // InvalidateLock waits for the lock's in-flight prefetches to finish: the
+  // work to read them "turns out to have been wasted" and delays the lock
+  // handoff — the read-ahead penalty the paper measures in Figure 8.
+  bool BeginPrefetch(uint64_t addr, LockId lock);
+  void EndPrefetch(uint64_t addr, LockId lock);
+
+  bool Cached(uint64_t addr) const;
+
+  // Flushes dirty blocks covered by `lock` (WAL first); entries stay cached.
+  Status FlushLock(LockId lock);
+  // Drops every entry covered by `lock` (after FlushLock if dirty data must
+  // survive). Bumps the lock epoch.
+  void InvalidateLock(LockId lock);
+
+  Status FlushAll();
+  // Flushes all metadata blocks pinned by log records with lsn <= bound
+  // (log reclaim callback).
+  Status FlushPinnedUpTo(uint64_t lsn);
+
+  // Drops everything without writing (lease lost: the paper discards the
+  // cache wholesale).
+  void DiscardAll();
+
+  // Evicts every clean entry (benchmarks invalidate the buffer cache before
+  // uncached-read experiments, as the paper does in §9.2).
+  void DropClean();
+
+  size_t dirty_bytes() const;
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    Bytes data;
+    LockId lock = 0;
+    bool dirty = false;
+    bool flushing = false;
+    uint64_t dirty_gen = 0;  // bumped on each PutDirty; detects overlap
+    uint64_t pin_lsn = 0;
+    uint64_t lru_seq = 0;
+  };
+
+  // Writes one entry out (WAL first). Called with mu_ held; drops and
+  // re-acquires it around IO.
+  Status FlushEntryLocked(uint64_t addr, std::unique_lock<std::mutex>& lk);
+  Status FlushSetLocked(const std::vector<uint64_t>& addrs, std::unique_lock<std::mutex>& lk);
+  void EvictIfNeededLocked(std::unique_lock<std::mutex>& lk);
+
+  BlockDevice* device_;
+  LogWriter* wal_;
+  BlockCacheOptions options_;
+  std::function<int64_t()> lease_expiry_us_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  std::map<LockId, std::set<uint64_t>> by_lock_;
+  std::map<LockId, uint64_t> epochs_;
+  std::set<uint64_t> prefetch_inflight_;
+  std::map<LockId, int> prefetch_by_lock_;
+  size_t bytes_ = 0;
+  size_t dirty_bytes_ = 0;
+  uint64_t lru_counter_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  std::unique_ptr<ThreadPool> io_pool_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_FS_BLOCK_CACHE_H_

@@ -1,0 +1,707 @@
+#include "src/fs/frangipani_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+namespace {
+constexpr int kMaxOpRetries = 64;
+constexpr int kMaxSymlinkDepth = 10;
+constexpr int kAllocKindInode = 0;
+constexpr int kAllocKindSmall = 1;
+constexpr int kAllocKindLarge = 2;
+}  // namespace
+
+StatusOr<std::vector<std::string>> SplitPath(const std::string& path) {
+  std::vector<std::string> parts;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t j = i;
+    while (j < path.size() && path[j] != '/') {
+      ++j;
+    }
+    if (j > i) {
+      std::string comp = path.substr(i, j - i);
+      if (comp == "." || comp == "..") {
+        return InvalidArgument("'.' and '..' are not supported in paths");
+      }
+      if (comp.size() > kDirNameMax) {
+        return InvalidArgument("name too long: " + comp);
+      }
+      parts.push_back(std::move(comp));
+    }
+    i = j;
+  }
+  return parts;
+}
+
+// ---------------------------------------------------------------------------
+// MetaTxn
+// ---------------------------------------------------------------------------
+
+StatusOr<Bytes*> FrangipaniFs::MetaTxn::GetBlock(uint64_t addr, BlockKind kind, LockId lock) {
+  auto it = blocks_.find(addr);
+  if (it != blocks_.end()) {
+    return &it->second.data;
+  }
+  ASSIGN_OR_RETURN(Bytes data, fs_->cache_->Read(addr, BlockKindSize(kind), lock));
+  Block b;
+  b.kind = kind;
+  b.lock = lock;
+  b.data = std::move(data);
+  auto [pos, inserted] = blocks_.emplace(addr, std::move(b));
+  return &pos->second.data;
+}
+
+Bytes* FrangipaniFs::MetaTxn::PutBlock(uint64_t addr, BlockKind kind, LockId lock, Bytes data) {
+  Block b;
+  b.kind = kind;
+  b.lock = lock;
+  b.data = std::move(data);
+  b.whole = true;
+  auto [pos, inserted] = blocks_.insert_or_assign(addr, std::move(b));
+  return &pos->second.data;
+}
+
+void FrangipaniFs::MetaTxn::Touch(uint64_t addr, uint32_t off, uint32_t len) {
+  auto it = blocks_.find(addr);
+  FGP_CHECK(it != blocks_.end()) << "Touch on unknown block";
+  it->second.ranges.emplace_back(off, len);
+}
+
+void FrangipaniFs::MetaTxn::TouchAll(uint64_t addr) {
+  auto it = blocks_.find(addr);
+  FGP_CHECK(it != blocks_.end()) << "TouchAll on unknown block";
+  it->second.whole = true;
+}
+
+Status FrangipaniFs::MetaTxn::Commit() {
+  if (blocks_.empty()) {
+    return OkStatus();
+  }
+  LogRecord record;
+  for (auto& [addr, b] : blocks_) {
+    if (!b.whole && b.ranges.empty()) {
+      continue;  // read but not modified
+    }
+    uint64_t version = BlockVersionOf(b.kind, b.data) + 1;
+    SetBlockVersion(b.kind, b.data, version);
+    LogBlockUpdate update;
+    update.addr = addr;
+    update.kind = b.kind;
+    update.version = version;
+    if (b.whole) {
+      LogBlockUpdate::Range r;
+      r.off = 0;
+      r.data = b.data;
+      update.ranges.push_back(std::move(r));
+    } else {
+      for (const auto& [off, len] : b.ranges) {
+        LogBlockUpdate::Range r;
+        r.off = off;
+        r.data.assign(b.data.begin() + off, b.data.begin() + off + len);
+        update.ranges.push_back(std::move(r));
+      }
+    }
+    record.updates.push_back(std::move(update));
+  }
+  if (record.updates.empty()) {
+    return OkStatus();
+  }
+  RETURN_IF_ERROR(fs_->CheckWriteLease());
+  uint64_t lsn = fs_->wal_->Append(std::move(record));
+  {
+    std::lock_guard<std::mutex> guard(fs_->stats_mu_);
+    fs_->stats_.log_records++;
+  }
+  for (auto& [addr, b] : blocks_) {
+    if (!b.whole && b.ranges.empty()) {
+      continue;
+    }
+    RETURN_IF_ERROR(fs_->cache_->PutDirty(addr, b.data, b.lock, lsn));
+  }
+  if (fs_->options_.sync_log) {
+    RETURN_IF_ERROR(fs_->wal_->FlushTo(lsn));
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Construction / mkfs / mount
+// ---------------------------------------------------------------------------
+
+FrangipaniFs::FrangipaniFs(BlockDevice* device, LockProvider* locks, Clock* clock,
+                           FsOptions options)
+    : device_(device), locks_(locks), clock_(clock), options_(options) {
+  readahead_on_.store(options_.readahead_enabled);
+}
+
+FrangipaniFs::~FrangipaniFs() {
+  if (mounted_) {
+    (void)Unmount();
+  }
+}
+
+Status FrangipaniFs::Mkfs(BlockDevice* device, const Geometry& geometry) {
+  Encoder params;
+  params.PutU32(kParamMagic);
+  geometry.Encode(params);
+  Bytes param_block = params.Take();
+  param_block.resize(kBlockSize, 0);
+  RETURN_IF_ERROR(device->Write(geometry.param_base, param_block, 0));
+
+  // Root directory inode (ino 1). Inode 0 is reserved.
+  Inode root;
+  root.type = FileType::kDirectory;
+  root.nlink = 1;
+  root.version = 1;
+  RETURN_IF_ERROR(device->Write(geometry.InodeAddr(kRootInode), root.Encode(), 0));
+
+  Bytes seg0 = InitSegmentBlock();
+  SegBitSet(seg0, InodeBit(0), true);
+  SegBitSet(seg0, InodeBit(kRootInode), true);
+  SetBlockVersion(BlockKind::kMeta4k, seg0, 1);
+  RETURN_IF_ERROR(device->Write(geometry.SegmentAddr(0), seg0, 0));
+  return OkStatus();
+}
+
+Status FrangipaniFs::Mount() {
+  if (mounted_) {
+    return FailedPrecondition("already mounted");
+  }
+  Bytes param_block;
+  RETURN_IF_ERROR(device_->Read(0, kBlockSize, &param_block));
+  Decoder dec(param_block);
+  if (dec.GetU32() != kParamMagic) {
+    return DataLoss("no Frangipani file system on this virtual disk (run mkfs)");
+  }
+  geometry_ = Geometry::Decode(dec);
+  if (!dec.ok()) {
+    return DataLoss("corrupt parameter block");
+  }
+
+  auto fence = [this]() { return FenceUs(); };
+  wal_ = std::make_unique<LogWriter>(
+      device_, geometry_, locks_->slot(),
+      [this](uint64_t lsn) { return cache_->FlushPinnedUpTo(lsn); }, fence);
+  BlockCacheOptions copts;
+  copts.capacity_bytes = options_.cache_bytes;
+  copts.dirty_hiwater_bytes = options_.dirty_hiwater_bytes;
+  copts.io_threads = options_.io_threads;
+  cache_ = std::make_unique<BlockCache>(device_, wal_.get(), copts, fence);
+  prefetch_pool_ = std::make_unique<ThreadPool>(std::max(2, options_.io_threads));
+
+  {
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    alloc_seg_ = (locks_->slot() * 2654435761u) % geometry_.num_segments;
+  }
+  mounted_ = true;
+  return OkStatus();
+}
+
+Status FrangipaniFs::Unmount() {
+  if (!mounted_) {
+    return OkStatus();
+  }
+  Status st = OkStatus();
+  if (!poisoned_ && !options_.read_only) {
+    st = SyncAll();
+  }
+  prefetch_pool_.reset();
+  mounted_ = false;
+  return st;
+}
+
+Status FrangipaniFs::CheckUsable() const {
+  if (!mounted_) {
+    return FailedPrecondition("not mounted");
+  }
+  if (poisoned_.load() || locks_->poisoned()) {
+    // §6: after a lost lease all requests fail until unmount.
+    return StaleLease("mount poisoned by lost lease; unmount required");
+  }
+  return OkStatus();
+}
+
+Status FrangipaniFs::CheckWriteLease() const {
+  Duration lease = locks_->LeaseDuration();
+  if (lease.count() == 0) {
+    return OkStatus();  // local locks: no lease to guard
+  }
+  // The paper uses a fixed 15 s margin against a 30 s lease; scale the
+  // configured margin down for installations with shorter leases.
+  Duration margin = std::min(options_.lease_margin, lease / 3);
+  if (!locks_->LeaseValidFor(margin)) {
+    return StaleLease("lease expires within the write margin (§6)");
+  }
+  return OkStatus();
+}
+
+int64_t FrangipaniFs::FenceUs() const {
+  if (!options_.fence_writes) {
+    return 0;
+  }
+  return locks_->LeaseExpiryUs();
+}
+
+int64_t FrangipaniFs::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             clock_->Now().time_since_epoch())
+      .count();
+}
+
+void FrangipaniFs::NoteRetry() {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  stats_.retries++;
+}
+
+FsStats FrangipaniFs::Stats() const {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  FsStats s = stats_;
+  if (cache_) {
+    s.cache_hits = cache_->hits();
+    s.cache_misses = cache_->misses();
+  }
+  return s;
+}
+
+void FrangipaniFs::SetReadahead(bool enabled) { readahead_on_.store(enabled); }
+
+// ---------------------------------------------------------------------------
+// Lock plans
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::WithLocks(std::vector<PlannedLock> locks,
+                               const std::function<Status()>& fn) {
+  // §5: sort by lock id (the paper sorts by inode address) and acquire in
+  // order; a mode conflict on a duplicate keeps the stronger mode.
+  std::map<LockId, LockMode> plan;
+  for (const PlannedLock& l : locks) {
+    LockMode& m = plan[l.id];
+    if (l.mode == LockMode::kExclusive || m == LockMode::kNone) {
+      m = l.mode == LockMode::kExclusive ? LockMode::kExclusive
+                                         : (m == LockMode::kExclusive ? m : l.mode);
+    }
+  }
+  std::vector<LockId> held;
+  held.reserve(plan.size());
+  Status st = OkStatus();
+  for (const auto& [id, mode] : plan) {
+    st = locks_->Acquire(id, mode);
+    if (!st.ok()) {
+      break;
+    }
+    held.push_back(id);
+  }
+  if (st.ok()) {
+    st = fn();
+  }
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    locks_->Release(*it);
+  }
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Inodes and directories (caller holds the covering locks)
+// ---------------------------------------------------------------------------
+
+StatusOr<Inode> FrangipaniFs::ReadInode(uint64_t ino) {
+  ASSIGN_OR_RETURN(Bytes raw,
+                   cache_->Read(geometry_.InodeAddr(ino), kInodeSize, InodeLockId(ino)));
+  return Inode::Decode(raw);
+}
+
+StatusOr<Inode> FrangipaniFs::ReadInodeIn(MetaTxn& txn, uint64_t ino, Bytes** raw) {
+  ASSIGN_OR_RETURN(Bytes * block,
+                   txn.GetBlock(geometry_.InodeAddr(ino), BlockKind::kInode, InodeLockId(ino)));
+  *raw = block;
+  return Inode::Decode(*block);
+}
+
+void FrangipaniFs::WriteInodeIn(MetaTxn& txn, uint64_t ino, Bytes* raw, const Inode& inode) {
+  Bytes encoded = inode.Encode();
+  // Preserve the version field: Commit bumps it from the block image.
+  uint64_t version = BlockVersionOf(BlockKind::kInode, *raw);
+  *raw = std::move(encoded);
+  SetBlockVersion(BlockKind::kInode, *raw, version);
+  txn.TouchAll(geometry_.InodeAddr(ino));
+}
+
+FrangipaniFs::BlockRef FrangipaniFs::MapOffset(const Inode& inode, uint64_t off,
+                                               uint64_t len) const {
+  BlockRef ref;
+  if (off < kSmallBytesPerFile) {
+    uint32_t idx = static_cast<uint32_t>(off / kBlockSize);
+    ref.unit = kBlockSize;
+    ref.off_in_unit = static_cast<uint32_t>(off % kBlockSize);
+    ref.len = static_cast<uint32_t>(
+        std::min<uint64_t>(len, kBlockSize - ref.off_in_unit));
+    // Do not cross into the large region within one ref.
+    ref.len = static_cast<uint32_t>(std::min<uint64_t>(ref.len, kSmallBytesPerFile - off));
+    ref.addr = inode.small[idx] == 0 ? 0 : geometry_.SmallBlockAddr(inode.small[idx]);
+    return ref;
+  }
+  uint64_t large_off = off - kSmallBytesPerFile;
+  // Directories use 4 KB units everywhere (they carry per-block versions);
+  // file data in the large region uses 64 KB cache units.
+  uint32_t unit = inode.type == FileType::kDirectory ? kBlockSize
+                                                     : static_cast<uint32_t>(kChunkSize);
+  ref.unit = unit;
+  uint64_t unit_base = large_off / unit * unit;
+  ref.off_in_unit = static_cast<uint32_t>(large_off - unit_base);
+  ref.len = static_cast<uint32_t>(std::min<uint64_t>(len, unit - ref.off_in_unit));
+  ref.addr =
+      inode.large == 0 ? 0 : geometry_.LargeBlockAddr(inode.large) + unit_base;
+  return ref;
+}
+
+StatusOr<std::optional<DirHit>> FrangipaniFs::DirFind(const Inode& dir, uint64_t dir_ino,
+                                                      const std::string& name,
+                                                      uint64_t* block_addr) {
+  LockId lock = InodeLockId(dir_ino);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    BlockRef ref = MapOffset(dir, off, kBlockSize);
+    if (ref.addr == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Bytes block, cache_->Read(ref.addr, kBlockSize, lock));
+    std::optional<DirHit> hit = DirBlockFind(block, name);
+    if (hit.has_value()) {
+      if (block_addr != nullptr) {
+        *block_addr = ref.addr;
+      }
+      return hit;
+    }
+  }
+  return std::optional<DirHit>{};
+}
+
+Status FrangipaniFs::DirInsert(MetaTxn& txn, uint64_t dir_ino, Inode& dir, Bytes* dir_raw,
+                               const std::string& name, uint64_t ino, FileType type) {
+  LockId lock = InodeLockId(dir_ino);
+  // Find a block with a free slot.
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    BlockRef ref = MapOffset(dir, off, kBlockSize);
+    if (ref.addr == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Bytes * block, txn.GetBlock(ref.addr, BlockKind::kMeta4k, lock));
+    std::optional<uint32_t> slot = DirBlockFreeSlot(*block);
+    if (slot.has_value()) {
+      DirBlockSetEntry(*block, *slot, name, ino, type);
+      txn.Touch(ref.addr, DirEntryOffset(*slot), kDirEntrySize);
+      return OkStatus();
+    }
+  }
+  // All blocks full: grow the directory by one block.
+  uint64_t new_off = dir.size;
+  if (new_off + kBlockSize > geometry_.MaxFileSize()) {
+    return ResourceExhausted("directory too large");
+  }
+  uint64_t block_addr = 0;
+  if (new_off < kSmallBytesPerFile) {
+    uint32_t seg;
+    {
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      seg = alloc_seg_;
+    }
+    ASSIGN_OR_RETURN(uint64_t b, AllocFromSegment(txn, seg, kAllocKindSmall, true));
+    dir.small[new_off / kBlockSize] = b;
+    block_addr = geometry_.SmallBlockAddr(b);
+  } else {
+    if (dir.large == 0) {
+      uint32_t seg;
+      {
+        std::lock_guard<std::mutex> guard(alloc_mu_);
+        seg = alloc_seg_;
+      }
+      ASSIGN_OR_RETURN(uint64_t l, AllocFromSegment(txn, seg, kAllocKindLarge, true));
+      dir.large = l;
+    }
+    block_addr = geometry_.LargeBlockAddr(dir.large) + (new_off - kSmallBytesPerFile);
+  }
+  Bytes* block = txn.PutBlock(block_addr, BlockKind::kMeta4k, lock, InitDirBlock());
+  DirBlockSetEntry(*block, 0, name, ino, type);
+  dir.size = new_off + kBlockSize;
+  return OkStatus();
+}
+
+Status FrangipaniFs::DirRemove(MetaTxn& txn, uint64_t dir_ino, Inode& dir,
+                               const std::string& name) {
+  LockId lock = InodeLockId(dir_ino);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    BlockRef ref = MapOffset(dir, off, kBlockSize);
+    if (ref.addr == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Bytes * block, txn.GetBlock(ref.addr, BlockKind::kMeta4k, lock));
+    std::optional<DirHit> hit = DirBlockFind(*block, name);
+    if (hit.has_value()) {
+      DirBlockSetEntry(*block, hit->slot, "", 0, FileType::kFree);
+      txn.Touch(ref.addr, DirEntryOffset(hit->slot), kDirEntrySize);
+      return OkStatus();
+    }
+  }
+  return NotFound("no such directory entry: " + name);
+}
+
+StatusOr<bool> FrangipaniFs::DirIsEmpty(const Inode& dir, uint64_t dir_ino) {
+  LockId lock = InodeLockId(dir_ino);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    BlockRef ref = MapOffset(dir, off, kBlockSize);
+    if (ref.addr == 0) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(Bytes block, cache_->Read(ref.addr, kBlockSize, lock));
+    if (!DirBlockEmpty(block)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> FrangipaniFs::AllocFromSegment(MetaTxn& txn, uint32_t seg, int what,
+                                                  bool for_metadata) {
+  uint64_t addr = geometry_.SegmentAddr(seg);
+  ASSIGN_OR_RETURN(Bytes * block, txn.GetBlock(addr, BlockKind::kMeta4k, SegmentLockId(seg)));
+  std::optional<uint32_t> local;
+  uint32_t bit = 0;
+  uint64_t object = 0;
+  switch (what) {
+    case kAllocKindInode:
+      local = SegFindFreeInode(*block);
+      if (local.has_value()) {
+        bit = kSegInodeBitsOff + *local;
+        object = InodeOfSeg(seg, *local);
+      }
+      break;
+    case kAllocKindSmall:
+      local = SegFindFreeSmall(*block, for_metadata);
+      if (local.has_value()) {
+        bit = kSegSmallBitsOff + *local;
+        object = SmallOfSeg(seg, *local);
+      }
+      break;
+    case kAllocKindLarge:
+      local = SegFindFreeLarge(*block, for_metadata);
+      if (local.has_value()) {
+        bit = kSegLargeBitsOff + *local;
+        object = LargeOfSeg(seg, *local);
+      }
+      break;
+  }
+  if (!local.has_value()) {
+    return ResourceExhausted("segment full");
+  }
+  SegBitSet(*block, bit, true);
+  txn.Touch(addr, SegBitByteOffset(bit), 1);
+  if (for_metadata && what == kAllocKindSmall) {
+    uint32_t taint = kSegTaintBitsOff + *local;
+    SegBitSet(*block, taint, true);
+    txn.Touch(addr, SegBitByteOffset(taint), 1);
+  }
+  if (for_metadata && what == kAllocKindLarge) {
+    uint32_t taint = kSegTaintBitsOff + kSmallsPerSegment + *local;
+    SegBitSet(*block, taint, true);
+    txn.Touch(addr, SegBitByteOffset(taint), 1);
+  }
+  return object;
+}
+
+void FrangipaniFs::FreeInSegment(MetaTxn& txn, uint32_t seg, uint32_t bit) {
+  uint64_t addr = geometry_.SegmentAddr(seg);
+  StatusOr<Bytes*> block = txn.GetBlock(addr, BlockKind::kMeta4k, SegmentLockId(seg));
+  if (!block.ok()) {
+    return;
+  }
+  SegBitSet(**block, bit, false);
+  txn.Touch(addr, SegBitByteOffset(bit), 1);
+}
+
+StatusOr<uint64_t> FrangipaniFs::PickInodeCandidate() {
+  // Phase-1 probe: take the segment lock briefly just to look for a free
+  // inode bit; the result is re-validated in phase two.
+  for (uint32_t probes = 0; probes < geometry_.num_segments; ++probes) {
+    uint32_t seg;
+    {
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      seg = alloc_seg_;
+    }
+    uint64_t candidate = 0;
+    Status st = WithLocks({{SegmentLockId(seg), LockMode::kExclusive}}, [&]() -> Status {
+      ASSIGN_OR_RETURN(Bytes block,
+                       cache_->Read(geometry_.SegmentAddr(seg), kBlockSize, SegmentLockId(seg)));
+      std::optional<uint32_t> local = SegFindFreeInode(block);
+      if (local.has_value()) {
+        candidate = InodeOfSeg(seg, *local);
+      }
+      return OkStatus();
+    });
+    RETURN_IF_ERROR(st);
+    if (candidate != 0) {
+      return candidate;
+    }
+    std::lock_guard<std::mutex> guard(alloc_mu_);
+    if (alloc_seg_ == seg) {
+      alloc_seg_ = (alloc_seg_ + 1) % geometry_.num_segments;
+    }
+  }
+  return ResourceExhausted("no free inodes");
+}
+
+std::vector<uint32_t> FrangipaniFs::SegmentsOf(uint64_t ino, const Inode& inode) const {
+  std::vector<uint32_t> segs;
+  segs.push_back(SegmentOfInode(ino));
+  for (uint64_t b : inode.small) {
+    if (b != 0) {
+      segs.push_back(SegmentOfSmall(b));
+    }
+  }
+  if (inode.large != 0) {
+    segs.push_back(SegmentOfLarge(inode.large));
+  }
+  std::sort(segs.begin(), segs.end());
+  segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+  return segs;
+}
+
+Status FrangipaniFs::FreeInodeAndBlocks(MetaTxn& txn, uint64_t ino, Inode& inode) {
+  for (uint64_t b : inode.small) {
+    if (b != 0) {
+      FreeInSegment(txn, SegmentOfSmall(b), SmallBit(b));
+    }
+  }
+  if (inode.large != 0) {
+    FreeInSegment(txn, SegmentOfLarge(inode.large), LargeBit(inode.large));
+  }
+  FreeInSegment(txn, SegmentOfInode(ino), InodeBit(ino));
+  return OkStatus();
+}
+
+Status FrangipaniFs::DecommitFileData(const Inode& inode) {
+  // Small blocks share 64 KB Petal chunks with unrelated blocks, so only the
+  // large block's committed range is decommitted.
+  if (inode.large == 0 || inode.size <= kSmallBytesPerFile) {
+    return OkStatus();
+  }
+  uint64_t bytes = inode.size - kSmallBytesPerFile;
+  uint64_t len = (bytes + kChunkSize - 1) / kChunkSize * kChunkSize;
+  return device_->Decommit(geometry_.LargeBlockAddr(inode.large), len);
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution (phase 1: acquires and releases locks as it walks)
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::ResolveDir(const std::string& path, PathTarget* out, int depth) {
+  if (depth > kMaxSymlinkDepth) {
+    return InvalidArgument("too many levels of symbolic links");
+  }
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return InvalidArgument("path resolves to the root directory");
+  }
+  uint64_t cur = kRootInode;
+  std::string cur_path = "/";
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    const std::string& comp = parts[i];
+    uint64_t next = 0;
+    FileType next_type = FileType::kFree;
+    std::string symlink_target;
+    Status st = WithLocks({{InodeLockId(cur), LockMode::kShared}}, [&]() -> Status {
+      ASSIGN_OR_RETURN(Inode dir, ReadInode(cur));
+      if (dir.type != FileType::kDirectory) {
+        return NotFound("not a directory: " + cur_path);
+      }
+      ASSIGN_OR_RETURN(std::optional<DirHit> hit, DirFind(dir, cur, comp, nullptr));
+      if (!hit.has_value()) {
+        return NotFound("no such directory: " + comp);
+      }
+      next = hit->ino;
+      next_type = hit->type;
+      return OkStatus();
+    });
+    RETURN_IF_ERROR(st);
+    if (next_type == FileType::kSymlink) {
+      st = WithLocks({{InodeLockId(next), LockMode::kShared}}, [&]() -> Status {
+        ASSIGN_OR_RETURN(Inode link, ReadInode(next));
+        symlink_target = link.symlink_target;
+        return OkStatus();
+      });
+      RETURN_IF_ERROR(st);
+      std::string rest;
+      for (size_t j = i + 1; j < parts.size(); ++j) {
+        rest += "/" + parts[j];
+      }
+      std::string new_path = symlink_target.starts_with("/")
+                                 ? symlink_target + rest
+                                 : cur_path + "/" + symlink_target + rest;
+      return ResolveDir(new_path, out, depth + 1);
+    }
+    cur = next;
+    cur_path += (cur_path.back() == '/' ? "" : "/") + comp;
+  }
+  out->parent = cur;
+  out->leaf = parts.back();
+  out->ino = 0;
+  out->type = FileType::kFree;
+  Status st = WithLocks({{InodeLockId(cur), LockMode::kShared}}, [&]() -> Status {
+    ASSIGN_OR_RETURN(Inode dir, ReadInode(cur));
+    if (dir.type != FileType::kDirectory) {
+      return NotFound("not a directory");
+    }
+    ASSIGN_OR_RETURN(std::optional<DirHit> hit, DirFind(dir, cur, out->leaf, nullptr));
+    if (hit.has_value()) {
+      out->ino = hit->ino;
+      out->type = hit->type;
+    }
+    return OkStatus();
+  });
+  return st;
+}
+
+StatusOr<uint64_t> FrangipaniFs::ResolveIno(const std::string& path, bool follow_leaf,
+                                            int depth) {
+  if (depth > kMaxSymlinkDepth) {
+    return InvalidArgument("too many levels of symbolic links");
+  }
+  ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return kRootInode;
+  }
+  PathTarget t;
+  RETURN_IF_ERROR(ResolveDir(path, &t, depth));
+  if (t.ino == 0) {
+    return NotFound("no such file: " + path);
+  }
+  if (follow_leaf && t.type == FileType::kSymlink) {
+    std::string target;
+    Status st = WithLocks({{InodeLockId(t.ino), LockMode::kShared}}, [&]() -> Status {
+      ASSIGN_OR_RETURN(Inode link, ReadInode(t.ino));
+      target = link.symlink_target;
+      return OkStatus();
+    });
+    RETURN_IF_ERROR(st);
+    if (target.starts_with("/")) {
+      return ResolveIno(target, true, depth + 1);
+    }
+    // Relative target: resolve within the parent directory. Reconstructing
+    // the parent path is awkward; re-resolve via the original path's prefix.
+    std::string prefix = path.substr(0, path.find_last_of('/') + 1);
+    return ResolveIno(prefix + target, true, depth + 1);
+  }
+  return t.ino;
+}
+
+}  // namespace frangipani

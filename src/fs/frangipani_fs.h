@@ -1,0 +1,258 @@
+// The Frangipani file server module: the paper's core contribution.
+//
+// Runs identically on every machine over one shared block device (a Petal
+// virtual disk), coordinating through the lock service:
+//  - one lock per file/directory/symlink covering the inode and all its data,
+//    per-segment bitmap locks, and a global barrier lock for backup;
+//  - operations follow the two-phase deadlock-avoidance protocol of §5:
+//    determine the lock set (acquiring and releasing locks to do lookups),
+//    sort by lock id, acquire in order, then validate that nothing examined
+//    in phase one changed — retrying from scratch if it did;
+//  - metadata updates are redo-logged (§4) through a per-server log in
+//    Petal; user data is not logged;
+//  - dirty data is flushed to Petal on write-lock release/downgrade and
+//    cache entries are invalidated on release (§5) — wired to the clerk's
+//    revoke callback via OnLockRevoked;
+//  - on lease loss the cache is discarded and the mount is poisoned (§6);
+//  - RecoverSlot replays a crashed peer's log (the recovery demon, §4).
+//
+// The class is passive: periodic work (sync demon, lease renewal) is driven
+// externally (FrangipaniNode) or by tests calling SyncAll directly.
+#ifndef SRC_FS_FRANGIPANI_FS_H_
+#define SRC_FS_FRANGIPANI_FS_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/thread_pool.h"
+#include "src/fs/alloc.h"
+#include "src/fs/block_cache.h"
+#include "src/fs/device.h"
+#include "src/fs/dir.h"
+#include "src/fs/inode.h"
+#include "src/fs/layout.h"
+#include "src/fs/lock_provider.h"
+#include "src/fs/wal.h"
+
+namespace frangipani {
+
+inline constexpr uint32_t kParamMagic = 0x46524750;  // "FRGP"
+
+struct FsOptions {
+  bool sync_log = false;            // flush the log before returning from metadata ops
+  bool readahead_enabled = true;
+  uint32_t readahead_units = 4;     // prefetch window, in cache units
+  size_t cache_bytes = 64 << 20;
+  size_t dirty_hiwater_bytes = 8 << 20;
+  int io_threads = 8;
+  Duration lease_margin = kDefaultLeaseMargin;  // §6 hazard margin
+  bool fence_writes = true;         // stamp Petal writes with the lease expiry
+  bool read_only = false;           // snapshot mounts
+};
+
+struct FileAttr {
+  uint64_t ino = 0;
+  FileType type = FileType::kFree;
+  uint64_t size = 0;
+  uint32_t nlink = 0;
+  int64_t mtime_us = 0;
+  int64_t ctime_us = 0;
+  int64_t atime_us = 0;
+};
+
+struct FsStats {
+  uint64_t operations = 0;
+  uint64_t retries = 0;       // two-phase validation failures
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t log_records = 0;
+  uint64_t prefetches = 0;
+  uint64_t prefetch_wasted = 0;
+};
+
+class FrangipaniFs {
+ public:
+  FrangipaniFs(BlockDevice* device, LockProvider* locks, Clock* clock, FsOptions options = {});
+  ~FrangipaniFs();
+
+  // Formats a fresh file system (empty root directory) on the device.
+  static Status Mkfs(BlockDevice* device, const Geometry& geometry);
+
+  Status Mount();
+  Status Unmount();
+  bool mounted() const { return mounted_; }
+
+  // ---- namespace operations (absolute paths, '/'-separated) ----
+  StatusOr<uint64_t> Create(const std::string& path);
+  Status Mkdir(const std::string& path);
+  Status Symlink(const std::string& target, const std::string& path);
+  Status Link(const std::string& existing, const std::string& path);
+  Status Unlink(const std::string& path);
+  Status Rmdir(const std::string& path);
+  Status Rename(const std::string& from, const std::string& to);
+  StatusOr<uint64_t> Lookup(const std::string& path);  // follows symlinks
+  StatusOr<FileAttr> Stat(const std::string& path);    // lstat semantics
+  StatusOr<FileAttr> StatIno(uint64_t ino);
+  StatusOr<std::string> Readlink(const std::string& path);
+  StatusOr<std::vector<DirEntry>> Readdir(const std::string& path);
+
+  // ---- file I/O ----
+  StatusOr<size_t> Read(uint64_t ino, uint64_t offset, size_t length, Bytes* out);
+  Status Write(uint64_t ino, uint64_t offset, const Bytes& data);
+  Status Truncate(uint64_t ino, uint64_t new_size);
+  Status Fsync(uint64_t ino);
+
+  // The update demon's work: flush the log, then all dirty blocks (§4).
+  Status SyncAll();
+  Status FlushLog();
+  // Flush + drop the buffer cache (benchmarks: uncached experiments).
+  Status DropCaches();
+
+  // ---- recovery & coherence hooks (wired to the clerk) ----
+  Status RecoverSlot(uint32_t dead_slot);
+  void OnLockRevoked(LockId lock, LockMode new_mode);
+  void OnLeaseLost();
+
+  bool poisoned() const { return poisoned_.load(); }
+  const Geometry& geometry() const { return geometry_; }
+  FsStats Stats() const;
+  BlockCache* cache() { return cache_.get(); }
+  LogWriter* wal() { return wal_.get(); }
+
+  void SetReadahead(bool enabled);
+
+ private:
+  struct PathTarget {
+    uint64_t parent = 0;     // inode of the containing directory
+    std::string leaf;        // last component
+    uint64_t ino = 0;        // 0 if the leaf does not exist
+    FileType type = FileType::kFree;
+  };
+
+  // A metadata transaction: mutates block images read through the cache and
+  // commits them as one atomic log record.
+  class MetaTxn {
+   public:
+    explicit MetaTxn(FrangipaniFs* fs) : fs_(fs) {}
+    // Returns a mutable image of the block; reads through the cache. The
+    // caller must hold `lock` in exclusive mode.
+    StatusOr<Bytes*> GetBlock(uint64_t addr, BlockKind kind, LockId lock);
+    // Seeds a block image without reading the device (freshly allocated).
+    Bytes* PutBlock(uint64_t addr, BlockKind kind, LockId lock, Bytes data);
+    // Marks [off, off+len) of the block as modified (logged as a delta).
+    void Touch(uint64_t addr, uint32_t off, uint32_t len);
+    void TouchAll(uint64_t addr);
+    Status Commit();
+
+   private:
+    struct Block {
+      BlockKind kind;
+      LockId lock;
+      Bytes data;
+      std::vector<std::pair<uint32_t, uint32_t>> ranges;
+      bool whole = false;
+    };
+    FrangipaniFs* fs_;
+    std::map<uint64_t, Block> blocks_;
+  };
+
+  // ---- lock plan execution ----
+  struct PlannedLock {
+    LockId id;
+    LockMode mode;
+  };
+  // Acquires the locks in sorted order, runs fn, releases. fn returning
+  // kAborted triggers the caller's retry loop.
+  Status WithLocks(std::vector<PlannedLock> locks, const std::function<Status()>& fn);
+  Status CheckUsable() const;
+  // §6 hazard check: before attempting Petal writes, the lease must still be
+  // valid for `margin` (scaled to the installation's lease duration).
+  Status CheckWriteLease() const;
+
+  // ---- phase-1 helpers (take and drop locks internally) ----
+  Status ResolveDir(const std::string& path, PathTarget* out, int depth = 0);
+  StatusOr<uint64_t> ResolveIno(const std::string& path, bool follow_leaf, int depth = 0);
+
+  // ---- under-lock primitives ----
+  StatusOr<Inode> ReadInode(uint64_t ino);
+  StatusOr<Inode> ReadInodeIn(MetaTxn& txn, uint64_t ino, Bytes** raw);
+  void WriteInodeIn(MetaTxn& txn, uint64_t ino, Bytes* raw, const Inode& inode);
+  // Looks `name` up in directory `dir` (lock already held).
+  StatusOr<std::optional<DirHit>> DirFind(const Inode& dir, uint64_t dir_ino,
+                                          const std::string& name, uint64_t* block_addr);
+  Status DirInsert(MetaTxn& txn, uint64_t dir_ino, Inode& dir, Bytes* dir_raw,
+                   const std::string& name, uint64_t ino, FileType type);
+  Status DirRemove(MetaTxn& txn, uint64_t dir_ino, Inode& dir, const std::string& name);
+  StatusOr<bool> DirIsEmpty(const Inode& dir, uint64_t dir_ino);
+
+  // Data block mapping: cache unit covering file offset `off`.
+  struct BlockRef {
+    uint64_t addr = 0;       // cache-unit base address (0 = hole)
+    uint32_t unit = 0;       // cache-unit size (4 KB small / 64 KB large)
+    uint32_t off_in_unit = 0;
+    uint32_t len = 0;        // bytes of the request inside this unit
+  };
+  BlockRef MapOffset(const Inode& inode, uint64_t off, uint64_t len) const;
+
+  // Allocation (caller holds the segment's lock exclusively).
+  StatusOr<uint64_t> AllocFromSegment(MetaTxn& txn, uint32_t seg, int what, bool for_metadata);
+  void FreeInSegment(MetaTxn& txn, uint32_t seg, uint32_t bit);
+  // Picks a candidate inode (phase 1): probes segments until one has a free
+  // inode bit, updating alloc_seg_.
+  StatusOr<uint64_t> PickInodeCandidate();
+
+  // Segments whose locks an op that frees `inode`'s storage must hold.
+  std::vector<uint32_t> SegmentsOf(uint64_t ino, const Inode& inode) const;
+
+  Status FreeInodeAndBlocks(MetaTxn& txn, uint64_t ino, Inode& inode);
+  Status DecommitFileData(const Inode& inode);
+
+  // Shared unlink/rmdir implementation.
+  Status RemoveCommon(const std::string& path, bool dir_expected);
+
+  int64_t FenceUs() const;
+  int64_t NowUs() const;
+  void NoteRetry();
+
+  // Read-ahead.
+  void MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read_end);
+
+  BlockDevice* device_;
+  LockProvider* locks_;
+  Clock* clock_;
+  FsOptions options_;
+
+  Geometry geometry_;
+  std::atomic<bool> mounted_{false};
+  std::atomic<bool> poisoned_{false};
+
+  std::unique_ptr<LogWriter> wal_;
+  std::unique_ptr<BlockCache> cache_;
+  std::unique_ptr<ThreadPool> prefetch_pool_;
+
+  std::mutex alloc_mu_;
+  uint32_t alloc_seg_ = 0;
+
+  std::mutex ra_mu_;
+  std::map<uint64_t, uint64_t> ra_last_end_;  // ino -> end of last sequential read
+  std::atomic<bool> readahead_on_{true};
+
+  std::mutex atime_mu_;
+  std::map<uint64_t, int64_t> atime_overlay_;  // §2.1: approximate atime
+
+  mutable std::mutex stats_mu_;
+  FsStats stats_;
+};
+
+// Parses a path into components; rejects empty names and names over the
+// directory limit.
+StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
+
+}  // namespace frangipani
+
+#endif  // SRC_FS_FRANGIPANI_FS_H_

@@ -1,0 +1,460 @@
+// Data path (read/write/truncate/fsync), read-ahead, the update-demon work,
+// log recovery, and the lock-coherence callbacks of FrangipaniFs.
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/logging.h"
+#include "src/fs/frangipani_fs.h"
+
+namespace frangipani {
+
+namespace {
+constexpr int kMaxOpRetries = 64;
+constexpr int kAllocKindSmall = 1;
+constexpr int kAllocKindLarge = 2;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Write
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
+  RETURN_IF_ERROR(CheckUsable());
+  if (options_.read_only) {
+    return PermissionDenied("read-only mount");
+  }
+  if (data.empty()) {
+    return OkStatus();
+  }
+  uint64_t end = offset + data.size();
+  if (end > geometry_.MaxFileSize()) {
+    return OutOfRange("file would exceed the maximum file size (16 small blocks + 1 large "
+                      "block, §3)");
+  }
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    uint32_t alloc_seg;
+    {
+      std::lock_guard<std::mutex> guard(alloc_mu_);
+      alloc_seg = alloc_seg_;
+    }
+    bool segment_full = false;
+    Status st = WithLocks(
+        {{kLockBarrier, LockMode::kShared},
+         {SegmentLockId(alloc_seg), LockMode::kExclusive},
+         {InodeLockId(ino), LockMode::kExclusive}},
+        [&]() -> Status {
+          MetaTxn txn(this);
+          Bytes* ino_raw = nullptr;
+          ASSIGN_OR_RETURN(Inode node, ReadInodeIn(txn, ino, &ino_raw));
+          if (node.type != FileType::kRegular) {
+            return InvalidArgument("not a regular file");
+          }
+          // Allocate any missing blocks in [offset, end).
+          std::vector<uint64_t> fresh_units;  // cache-unit addrs needing zero-init
+          uint32_t first_small = static_cast<uint32_t>(
+              std::min<uint64_t>(offset, kSmallBytesPerFile) / kBlockSize);
+          uint32_t last_small = static_cast<uint32_t>(
+              (std::min<uint64_t>(end, kSmallBytesPerFile) + kBlockSize - 1) / kBlockSize);
+          for (uint32_t i = first_small; i < last_small; ++i) {
+            if (node.small[i] != 0) {
+              continue;
+            }
+            StatusOr<uint64_t> b = AllocFromSegment(txn, alloc_seg, kAllocKindSmall, false);
+            if (!b.ok()) {
+              segment_full = true;
+              return Aborted("allocation segment full");
+            }
+            node.small[i] = *b;
+            fresh_units.push_back(geometry_.SmallBlockAddr(*b));
+          }
+          if (end > kSmallBytesPerFile && node.large == 0) {
+            StatusOr<uint64_t> l = AllocFromSegment(txn, alloc_seg, kAllocKindLarge, false);
+            if (!l.ok()) {
+              segment_full = true;
+              return Aborted("allocation segment full");
+            }
+            node.large = *l;
+          }
+
+          // Stage the data into the cache (user data: not logged).
+          LockId lock = InodeLockId(ino);
+          uint64_t pos = offset;
+          size_t consumed = 0;
+          while (consumed < data.size()) {
+            BlockRef ref = MapOffset(node, pos, data.size() - consumed);
+            FGP_CHECK(ref.addr != 0) << "unallocated block in write path";
+            Bytes unit;
+            bool whole = ref.off_in_unit == 0 && ref.len == ref.unit;
+            bool fresh = std::find(fresh_units.begin(), fresh_units.end(), ref.addr) !=
+                         fresh_units.end();
+            if (whole) {
+              unit.assign(data.begin() + consumed, data.begin() + consumed + ref.len);
+            } else if (fresh || ref.addr >= geometry_.large_base) {
+              // Fresh small block, or large-region unit: blocks in the large
+              // region are private to this file and start zeroed; only pull
+              // existing bytes when overwriting previously written data.
+              bool prior_data =
+                  !fresh && pos < ((node.size + ref.unit - 1) / ref.unit) * ref.unit &&
+                  pos < node.size + ref.unit;
+              if (!fresh && prior_data) {
+                ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, lock));
+              } else {
+                unit.assign(ref.unit, 0);
+              }
+              std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
+            } else {
+              ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, lock));
+              std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
+            }
+            RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), lock, 0));
+            pos += ref.len;
+            consumed += ref.len;
+          }
+
+          node.size = std::max(node.size, end);
+          node.mtime_us = NowUs();
+          WriteInodeIn(txn, ino, ino_raw, node);
+          return txn.Commit();
+        });
+    if (st.code() == StatusCode::kAborted) {
+      if (segment_full) {
+        std::lock_guard<std::mutex> guard(alloc_mu_);
+        if (alloc_seg_ == alloc_seg) {
+          alloc_seg_ = (alloc_seg_ + 1) % geometry_.num_segments;
+        }
+      }
+      NoteRetry();
+      continue;
+    }
+    RETURN_IF_ERROR(st);
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    stats_.operations++;
+    return OkStatus();
+  }
+  return Aborted("write: too many conflicts");
+}
+
+// ---------------------------------------------------------------------------
+// Read + read-ahead
+// ---------------------------------------------------------------------------
+
+StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length, Bytes* out) {
+  RETURN_IF_ERROR(CheckUsable());
+  out->clear();
+  Inode snapshot;
+  Status st = WithLocks({{InodeLockId(ino), LockMode::kShared}}, [&]() -> Status {
+    ASSIGN_OR_RETURN(Inode node, ReadInode(ino));
+    if (node.type != FileType::kRegular) {
+      return InvalidArgument("not a regular file");
+    }
+    if (offset >= node.size) {
+      return OkStatus();
+    }
+    uint64_t end = std::min<uint64_t>(node.size, offset + length);
+    LockId lock = InodeLockId(ino);
+    uint64_t pos = offset;
+    while (pos < end) {
+      BlockRef ref = MapOffset(node, pos, end - pos);
+      if (ref.addr == 0) {
+        out->insert(out->end(), ref.len, 0);  // hole
+      } else {
+        ASSIGN_OR_RETURN(Bytes unit, cache_->Read(ref.addr, ref.unit, lock));
+        out->insert(out->end(), unit.begin() + ref.off_in_unit,
+                    unit.begin() + ref.off_in_unit + ref.len);
+      }
+      pos += ref.len;
+    }
+    snapshot = node;
+    MaybePrefetch(ino, node, pos);
+    return OkStatus();
+  });
+  RETURN_IF_ERROR(st);
+  {
+    // §2.1: last-accessed time is maintained only approximately — updated in
+    // memory, made durable only piggybacked on other metadata writes.
+    std::lock_guard<std::mutex> guard(atime_mu_);
+    atime_overlay_[ino] = NowUs();
+  }
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    stats_.operations++;
+  }
+  return out->size();
+}
+
+void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read_end) {
+  if (!readahead_on_.load() || prefetch_pool_ == nullptr) {
+    return;
+  }
+  bool sequential;
+  {
+    std::lock_guard<std::mutex> guard(ra_mu_);
+    auto it = ra_last_end_.find(ino);
+    uint64_t read_start = read_end;  // only used when found
+    (void)read_start;
+    sequential = it != ra_last_end_.end() || read_end <= 256 * 1024;
+    if (it != ra_last_end_.end() && read_end < it->second) {
+      sequential = false;  // backwards seek
+    }
+    ra_last_end_[ino] = read_end;
+  }
+  if (!sequential) {
+    return;
+  }
+  LockId lock = InodeLockId(ino);
+  uint64_t pos = read_end;
+  for (uint32_t i = 0; i < options_.readahead_units && pos < inode.size; ++i) {
+    BlockRef ref = MapOffset(inode, pos, inode.size - pos);
+    pos = pos - ref.off_in_unit + ref.unit;  // next unit boundary
+    if (ref.addr == 0) {
+      continue;
+    }
+    uint64_t unit_addr = ref.addr;  // MapOffset returns the unit base
+    uint32_t unit = ref.unit;
+    if (!cache_->BeginPrefetch(unit_addr, lock)) {
+      continue;  // already cached or being prefetched
+    }
+    uint64_t epoch = cache_->LockEpoch(lock);
+    {
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      stats_.prefetches++;
+    }
+    prefetch_pool_->Submit([this, unit_addr, unit, lock, epoch] {
+      Bytes data;
+      if (!device_->Read(unit_addr, unit, &data).ok()) {
+        cache_->EndPrefetch(unit_addr, lock);
+        return;
+      }
+      if (cache_->LockEpoch(lock) != epoch) {
+        // The lock was revoked while we prefetched: wasted work (Figure 8).
+        cache_->EndPrefetch(unit_addr, lock);
+        std::lock_guard<std::mutex> guard(stats_mu_);
+        stats_.prefetch_wasted++;
+        return;
+      }
+      cache_->PutPrefetched(unit_addr, std::move(data), lock, epoch);
+      cache_->EndPrefetch(unit_addr, lock);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncate
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
+  RETURN_IF_ERROR(CheckUsable());
+  if (options_.read_only) {
+    return PermissionDenied("read-only mount");
+  }
+  if (new_size > geometry_.MaxFileSize()) {
+    return OutOfRange("beyond maximum file size");
+  }
+  for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
+    // Phase 1: find which segments hold the blocks to free.
+    uint64_t expected_version = 0;
+    std::vector<uint32_t> segs;
+    bool shrinks = false;
+    Status st = WithLocks({{InodeLockId(ino), LockMode::kShared}}, [&]() -> Status {
+      ASSIGN_OR_RETURN(Inode node, ReadInode(ino));
+      if (node.type != FileType::kRegular) {
+        return InvalidArgument("not a regular file");
+      }
+      expected_version = node.version;
+      if (new_size >= node.size) {
+        return OkStatus();
+      }
+      shrinks = true;
+      uint32_t keep_smalls =
+          static_cast<uint32_t>((std::min<uint64_t>(new_size, kSmallBytesPerFile) +
+                                 kBlockSize - 1) /
+                                kBlockSize);
+      for (uint32_t i = keep_smalls; i < kSmallBlocksPerFile; ++i) {
+        if (node.small[i] != 0) {
+          segs.push_back(SegmentOfSmall(node.small[i]));
+        }
+      }
+      if (node.large != 0 && new_size <= kSmallBytesPerFile) {
+        segs.push_back(SegmentOfLarge(node.large));
+      }
+      std::sort(segs.begin(), segs.end());
+      segs.erase(std::unique(segs.begin(), segs.end()), segs.end());
+      return OkStatus();
+    });
+    RETURN_IF_ERROR(st);
+
+    std::vector<PlannedLock> plan = {{kLockBarrier, LockMode::kShared},
+                                     {InodeLockId(ino), LockMode::kExclusive}};
+    for (uint32_t seg : segs) {
+      plan.push_back({SegmentLockId(seg), LockMode::kExclusive});
+    }
+    Inode before;
+    bool freed_large = false;
+    st = WithLocks(plan, [&]() -> Status {
+      MetaTxn txn(this);
+      Bytes* ino_raw = nullptr;
+      ASSIGN_OR_RETURN(Inode node, ReadInodeIn(txn, ino, &ino_raw));
+      if (node.version != expected_version) {
+        return Aborted("inode changed since phase one");
+      }
+      before = node;
+      if (new_size < node.size) {
+        uint32_t keep_smalls =
+            static_cast<uint32_t>((std::min<uint64_t>(new_size, kSmallBytesPerFile) +
+                                   kBlockSize - 1) /
+                                  kBlockSize);
+        for (uint32_t i = keep_smalls; i < kSmallBlocksPerFile; ++i) {
+          if (node.small[i] != 0) {
+            FreeInSegment(txn, SegmentOfSmall(node.small[i]), SmallBit(node.small[i]));
+            node.small[i] = 0;
+          }
+        }
+        if (node.large != 0 && new_size <= kSmallBytesPerFile) {
+          FreeInSegment(txn, SegmentOfLarge(node.large), LargeBit(node.large));
+          node.large = 0;
+          freed_large = true;
+        }
+      }
+      uint64_t old_size = node.size;
+      node.size = new_size;
+      node.mtime_us = NowUs();
+      WriteInodeIn(txn, ino, ino_raw, node);
+      RETURN_IF_ERROR(txn.Commit());
+      if (shrinks) {
+        // Freed blocks may be reallocated under other locks; drop our copies.
+        RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(ino)));
+        cache_->InvalidateLock(InodeLockId(ino));
+        // Zero the stale tail of the kept partial block so that a later
+        // size extension reads zeros, not resurrected old data.
+        if (new_size > 0) {
+          BlockRef ref = MapOffset(node, new_size, 1);
+          if (ref.addr != 0 && ref.off_in_unit != 0) {
+            uint32_t zero_to = static_cast<uint32_t>(std::min<uint64_t>(
+                ref.unit, old_size - (new_size - ref.off_in_unit)));
+            ASSIGN_OR_RETURN(Bytes unit,
+                             cache_->Read(ref.addr, ref.unit, InodeLockId(ino)));
+            std::fill(unit.begin() + ref.off_in_unit, unit.begin() + zero_to, 0);
+            RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), InodeLockId(ino), 0));
+          }
+        }
+        // A kept large block may still have committed chunks past the new
+        // end; return that physical space (reads then yield zeros).
+        if (node.large != 0 && old_size > kSmallBytesPerFile) {
+          uint64_t keep = new_size > kSmallBytesPerFile ? new_size - kSmallBytesPerFile : 0;
+          uint64_t keep_aligned = (keep + kChunkSize - 1) / kChunkSize * kChunkSize;
+          uint64_t old_extent =
+              (old_size - kSmallBytesPerFile + kChunkSize - 1) / kChunkSize * kChunkSize;
+          if (old_extent > keep_aligned) {
+            (void)device_->Decommit(geometry_.LargeBlockAddr(node.large) + keep_aligned,
+                                    old_extent - keep_aligned);
+          }
+        }
+      }
+      return OkStatus();
+    });
+    if (st.code() == StatusCode::kAborted) {
+      NoteRetry();
+      continue;
+    }
+    RETURN_IF_ERROR(st);
+    if (freed_large) {
+      (void)DecommitFileData(before);
+    }
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    stats_.operations++;
+    return OkStatus();
+  }
+  return Aborted("truncate: too many conflicts");
+}
+
+// ---------------------------------------------------------------------------
+// Durability
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::Fsync(uint64_t ino) {
+  RETURN_IF_ERROR(CheckUsable());
+  RETURN_IF_ERROR(CheckWriteLease());
+  // Flush the log (making this file's metadata updates recoverable) and the
+  // file's dirty blocks.
+  RETURN_IF_ERROR(wal_->FlushAll());
+  RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(ino)));
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  stats_.operations++;
+  return OkStatus();
+}
+
+Status FrangipaniFs::SyncAll() {
+  if (!mounted_ || poisoned_) {
+    return OkStatus();
+  }
+  RETURN_IF_ERROR(wal_->FlushAll());
+  return cache_->FlushAll();
+}
+
+Status FrangipaniFs::DropCaches() {
+  RETURN_IF_ERROR(SyncAll());
+  cache_->DropClean();
+  {
+    std::lock_guard<std::mutex> guard(ra_mu_);
+    ra_last_end_.clear();
+  }
+  return OkStatus();
+}
+
+Status FrangipaniFs::FlushLog() {
+  if (!mounted_ || poisoned_) {
+    return OkStatus();
+  }
+  return wal_->FlushAll();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery and coherence callbacks
+// ---------------------------------------------------------------------------
+
+Status FrangipaniFs::RecoverSlot(uint32_t dead_slot) {
+  if (!mounted_) {
+    return FailedPrecondition("not mounted");
+  }
+  FLOG(INFO) << "fs: replaying log of dead slot " << dead_slot;
+  ASSIGN_OR_RETURN(uint64_t applied, ReplayLog(device_, geometry_, dead_slot, FenceUs()));
+  RETURN_IF_ERROR(EraseLog(device_, geometry_, dead_slot, FenceUs()));
+  FLOG(INFO) << "fs: recovery of slot " << dead_slot << " applied " << applied << " updates";
+  return OkStatus();
+}
+
+void FrangipaniFs::OnLockRevoked(LockId lock, LockMode new_mode) {
+  if (!mounted_) {
+    return;
+  }
+  if (lock == kLockBarrier) {
+    // Backup barrier (§8): clean everything, then let the barrier go.
+    (void)SyncAll();
+    return;
+  }
+  // §5: write dirty data covered by the lock before it changes hands;
+  // invalidate on full release, keep cached data on downgrade.
+  Status st = cache_->FlushLock(lock);
+  if (!st.ok()) {
+    FLOG(WARN) << "fs: flush on revoke failed for lock " << lock << ": " << st;
+  }
+  if (new_mode == LockMode::kNone) {
+    cache_->InvalidateLock(lock);
+    if (IsInodeLock(lock)) {
+      std::lock_guard<std::mutex> guard(ra_mu_);
+      ra_last_end_.erase(InodeOfLock(lock));
+    }
+  }
+}
+
+void FrangipaniFs::OnLeaseLost() {
+  // §6: discard all locks and cached data; make every subsequent request
+  // fail until the file system is unmounted.
+  poisoned_.store(true);
+  if (cache_) {
+    cache_->DiscardAll();
+  }
+  FLOG(WARN) << "fs: lease lost; mount poisoned";
+}
+
+}  // namespace frangipani

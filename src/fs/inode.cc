@@ -1,0 +1,61 @@
+#include "src/fs/inode.h"
+
+namespace frangipani {
+
+Bytes Inode::Encode() const {
+  Encoder enc;
+  enc.PutU32(kInodeMagic);
+  enc.PutU8(static_cast<uint8_t>(type));
+  enc.PutU8(0);
+  enc.PutU16(0);
+  enc.PutU64(version);  // at kInodeVersionOffset
+  enc.PutU32(nlink);
+  enc.PutU64(size);
+  enc.PutI64(mtime_us);
+  enc.PutI64(ctime_us);
+  enc.PutI64(atime_us);
+  for (uint64_t b : small) {
+    enc.PutU64(b);
+  }
+  enc.PutU64(large);
+  enc.PutString(symlink_target.substr(0, kSymlinkMax));
+  Bytes out = enc.Take();
+  out.resize(kInodeSize, 0);
+  return out;
+}
+
+StatusOr<Inode> Inode::Decode(const Bytes& raw) {
+  if (raw.size() != kInodeSize) {
+    return InvalidArgument("inode must be 512 bytes");
+  }
+  Decoder dec(raw);
+  uint32_t magic = dec.GetU32();
+  Inode ino;
+  ino.type = static_cast<FileType>(dec.GetU8());
+  dec.GetU8();
+  dec.GetU16();
+  ino.version = dec.GetU64();
+  if (magic != kInodeMagic) {
+    // A never-written (all zero) inode decodes as free at version 0.
+    if (magic == 0) {
+      return Inode{};
+    }
+    return DataLoss("bad inode magic");
+  }
+  ino.nlink = dec.GetU32();
+  ino.size = dec.GetU64();
+  ino.mtime_us = dec.GetI64();
+  ino.ctime_us = dec.GetI64();
+  ino.atime_us = dec.GetI64();
+  for (uint64_t& b : ino.small) {
+    b = dec.GetU64();
+  }
+  ino.large = dec.GetU64();
+  ino.symlink_target = dec.GetString();
+  if (!dec.ok()) {
+    return DataLoss("truncated inode");
+  }
+  return ino;
+}
+
+}  // namespace frangipani

@@ -1,0 +1,50 @@
+// On-disk inode: exactly 512 bytes, one disk sector, so that two servers
+// never contend on unrelated inodes sharing a block (§3: avoids false
+// sharing). Symbolic links store their target directly in the inode.
+#ifndef SRC_FS_INODE_H_
+#define SRC_FS_INODE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/base/serial.h"
+#include "src/base/status.h"
+#include "src/fs/layout.h"
+
+namespace frangipani {
+
+enum class FileType : uint8_t {
+  kFree = 0,
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+};
+
+inline constexpr uint32_t kInodeMagic = 0x46524749;  // "FRGI"
+inline constexpr size_t kSymlinkMax = 256;
+// Byte offset of the version field within an encoded inode (after magic).
+inline constexpr uint32_t kInodeVersionOffset = 8;
+
+struct Inode {
+  FileType type = FileType::kFree;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  uint64_t version = 0;  // metadata version for log replay (§4)
+  int64_t mtime_us = 0;
+  int64_t ctime_us = 0;
+  int64_t atime_us = 0;  // maintained approximately (§2.1); never logged
+  std::array<uint64_t, kSmallBlocksPerFile> small{};  // 1-based block numbers, 0 = hole
+  uint64_t large = 0;                                 // 1-based large block number, 0 = none
+  std::string symlink_target;
+
+  // Serializes to exactly kInodeSize bytes.
+  Bytes Encode() const;
+  static StatusOr<Inode> Decode(const Bytes& raw);
+
+  bool IsFree() const { return type == FileType::kFree; }
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_FS_INODE_H_

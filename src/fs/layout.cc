@@ -1,0 +1,35 @@
+#include "src/fs/layout.h"
+
+namespace frangipani {
+
+void Geometry::Encode(Encoder& enc) const {
+  enc.PutU64(param_base);
+  enc.PutU64(log_base);
+  enc.PutU32(num_logs);
+  enc.PutU32(log_bytes);
+  enc.PutU64(log_stride);
+  enc.PutU64(bitmap_base);
+  enc.PutU32(num_segments);
+  enc.PutU64(inode_base);
+  enc.PutU64(small_base);
+  enc.PutU64(large_base);
+  enc.PutU64(large_span);
+}
+
+Geometry Geometry::Decode(Decoder& dec) {
+  Geometry g;
+  g.param_base = dec.GetU64();
+  g.log_base = dec.GetU64();
+  g.num_logs = dec.GetU32();
+  g.log_bytes = dec.GetU32();
+  g.log_stride = dec.GetU64();
+  g.bitmap_base = dec.GetU64();
+  g.num_segments = dec.GetU32();
+  g.inode_base = dec.GetU64();
+  g.small_base = dec.GetU64();
+  g.large_base = dec.GetU64();
+  g.large_span = dec.GetU64();
+  return g;
+}
+
+}  // namespace frangipani

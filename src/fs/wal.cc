@@ -1,0 +1,380 @@
+#include "src/fs/wal.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/crc32.h"
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+uint32_t BlockKindSize(BlockKind kind) {
+  return kind == BlockKind::kInode ? kInodeSize : kBlockSize;
+}
+
+uint32_t BlockKindVersionOffset(BlockKind kind) {
+  return kind == BlockKind::kInode ? 8u : 0u;
+}
+
+uint64_t BlockVersionOf(BlockKind kind, const Bytes& block) {
+  uint32_t off = BlockKindVersionOffset(kind);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(block[off + i]) << (8 * i);
+  }
+  return v;
+}
+
+void SetBlockVersion(BlockKind kind, Bytes& block, uint64_t version) {
+  uint32_t off = BlockKindVersionOffset(kind);
+  for (int i = 0; i < 8; ++i) {
+    block[off + i] = static_cast<uint8_t>(version >> (8 * i));
+  }
+}
+
+Bytes LogRecord::Encode() const {
+  Encoder body;
+  body.PutU64(lsn);
+  body.PutU32(static_cast<uint32_t>(updates.size()));
+  for (const LogBlockUpdate& u : updates) {
+    body.PutU64(u.addr);
+    body.PutU8(static_cast<uint8_t>(u.kind));
+    body.PutU64(u.version);
+    body.PutU32(static_cast<uint32_t>(u.ranges.size()));
+    for (const LogBlockUpdate::Range& r : u.ranges) {
+      body.PutU32(r.off);
+      body.PutBytes(r.data);
+    }
+  }
+  Encoder framed;
+  framed.PutU32(kLogRecordMagic);
+  framed.PutU32(static_cast<uint32_t>(4 + 4 + body.size() + 4));  // total framed length
+  framed.PutRaw(body.buffer().data(), body.size());
+  uint32_t crc = Crc32c(framed.buffer().data(), framed.size());
+  framed.PutU32(crc);
+  return framed.Take();
+}
+
+namespace {
+
+// Attempts to parse one framed record at the front of `buf`. Returns bytes
+// consumed; 0 = need more data; -1 = garbage (resync at next sector).
+int64_t TryParseRecord(const Bytes& buf, LogRecord* out) {
+  if (buf.size() < 8) {
+    return 0;
+  }
+  Decoder head(buf.data(), 8);
+  uint32_t magic = head.GetU32();
+  uint32_t total = head.GetU32();
+  if (magic != kLogRecordMagic || total < 16 || total > (16u << 20)) {
+    return -1;
+  }
+  if (buf.size() < total) {
+    return 0;
+  }
+  Decoder tail(buf.data() + total - 4, 4);
+  uint32_t stored_crc = tail.GetU32();
+  if (Crc32c(buf.data(), total - 4) != stored_crc) {
+    return -1;  // torn record
+  }
+  Decoder dec(buf.data() + 8, total - 12);
+  LogRecord rec;
+  rec.lsn = dec.GetU64();
+  uint32_t nupdates = dec.GetU32();
+  for (uint32_t i = 0; i < nupdates && dec.ok(); ++i) {
+    LogBlockUpdate u;
+    u.addr = dec.GetU64();
+    u.kind = static_cast<BlockKind>(dec.GetU8());
+    u.version = dec.GetU64();
+    uint32_t nranges = dec.GetU32();
+    for (uint32_t j = 0; j < nranges && dec.ok(); ++j) {
+      LogBlockUpdate::Range r;
+      r.off = dec.GetU32();
+      r.data = dec.GetBytes();
+      u.ranges.push_back(std::move(r));
+    }
+    rec.updates.push_back(std::move(u));
+  }
+  if (!dec.ok()) {
+    return -1;
+  }
+  *out = std::move(rec);
+  return total;
+}
+
+}  // namespace
+
+LogWriter::LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+                     std::function<Status(uint64_t)> reclaim,
+                     std::function<int64_t()> lease_expiry_us)
+    : device_(device),
+      geometry_(geometry),
+      slot_(slot),
+      num_sectors_(geometry.log_bytes / kLogSectorSize),
+      reclaim_(std::move(reclaim)),
+      lease_expiry_us_(std::move(lease_expiry_us)) {}
+
+uint64_t LogWriter::Append(LogRecord record) {
+  std::lock_guard<std::mutex> guard(mu_);
+  record.lsn = next_lsn_++;
+  uint64_t lsn = record.lsn;
+  pending_.emplace_back(lsn, record.Encode());
+  return lsn;
+}
+
+uint64_t LogWriter::next_lsn() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_lsn_;
+}
+
+uint64_t LogWriter::flushed_lsn() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return flushed_lsn_;
+}
+
+uint64_t LogWriter::sectors_written() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return next_seq_ - 1;
+}
+
+Status LogWriter::FlushTo(uint64_t lsn) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushLocked(lsn, lk);
+}
+
+Status LogWriter::FlushAll() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return FlushLocked(next_lsn_ - 1, lk);
+}
+
+Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
+  // Re-entrancy: the reclaim callback flushes metadata blocks, whose flush
+  // path calls back into FlushTo for records that are already on disk. Check
+  // before waiting so that nested call returns immediately.
+  if (flushed_lsn_ >= lsn || pending_.empty()) {
+    return OkStatus();
+  }
+  flush_cv_.wait(lk, [this] { return !flushing_; });
+  if (flushed_lsn_ >= lsn || pending_.empty()) {
+    return OkStatus();
+  }
+  flushing_ = true;
+
+  // Gather records to flush. A single pass writes at most half the log; if
+  // more is pending (a huge backlog), loop: reclaim interleaves naturally.
+  Bytes stream;
+  std::vector<std::pair<uint64_t, size_t>> record_sizes;  // (lsn, encoded size)
+  size_t byte_budget = static_cast<size_t>(num_sectors_ / 2) * kLogSectorPayload;
+  bool more_after_this_pass = false;
+  for (const auto& [rec_lsn, encoded] : pending_) {
+    if (rec_lsn > lsn) {
+      break;
+    }
+    if (!record_sizes.empty() && stream.size() + encoded.size() > byte_budget) {
+      more_after_this_pass = true;
+      break;
+    }
+    record_sizes.emplace_back(rec_lsn, encoded.size());
+    stream.insert(stream.end(), encoded.begin(), encoded.end());
+  }
+  if (record_sizes.empty()) {
+    flushing_ = false;
+    flush_cv_.notify_all();
+    return OkStatus();
+  }
+  uint64_t flush_bound = record_sizes.back().first;
+  uint32_t sectors_needed =
+      static_cast<uint32_t>((stream.size() + kLogSectorPayload - 1) / kLogSectorPayload);
+  if (sectors_needed > num_sectors_) {
+    flushing_ = false;
+    flush_cv_.notify_all();
+    return ResourceExhausted("single log record larger than the whole log");
+  }
+
+  // Reclaim space if the circular log would overflow (§4: oldest 25%).
+  while (next_seq_ - tail_seq_ + sectors_needed > num_sectors_) {
+    uint64_t reclaim_lsn = 0;
+    uint64_t target = std::max<uint64_t>(num_sectors_ / 4, sectors_needed);
+    uint64_t freed = 0;
+    for (const LiveRecord& r : live_) {
+      reclaim_lsn = r.lsn;
+      freed = r.last_seq - tail_seq_ + 1;
+      if (freed >= target) {
+        break;
+      }
+    }
+    if (reclaim_lsn == 0) {
+      break;  // nothing live; the arithmetic below advances the tail
+    }
+    lk.unlock();
+    Status st = reclaim_ ? reclaim_(reclaim_lsn) : OkStatus();
+    lk.lock();
+    if (!st.ok()) {
+      flushing_ = false;
+      flush_cv_.notify_all();
+      return st;
+    }
+    while (!live_.empty() && live_.front().lsn <= reclaim_lsn) {
+      tail_seq_ = live_.front().last_seq + 1;
+      live_.pop_front();
+    }
+    if (live_.empty()) {
+      tail_seq_ = next_seq_;
+    }
+  }
+
+  uint64_t first_seq = next_seq_;
+  next_seq_ += sectors_needed;
+  // Record the sector spans of each flushed record for future reclaim.
+  {
+    size_t pos = 0;
+    for (const auto& [rec_lsn, size] : record_sizes) {
+      LiveRecord live;
+      live.lsn = rec_lsn;
+      live.first_seq = first_seq + pos / kLogSectorPayload;
+      live.last_seq = first_seq + (pos + size - 1) / kLogSectorPayload;
+      live_.push_back(live);
+      pos += size;
+    }
+  }
+  int64_t fence = lease_expiry_us_ ? lease_expiry_us_() : 0;
+  uint64_t log_base = geometry_.LogAddr(slot_);
+  lk.unlock();
+
+  // Build sectors and write them in contiguous runs (wrapping at the end of
+  // the region). Sequential log writes dodge the positioning delay.
+  Status st = OkStatus();
+  Bytes run;
+  uint64_t run_start_seq = first_seq;
+  auto flush_run = [&](uint64_t end_seq_exclusive) -> Status {
+    if (run.empty()) {
+      return OkStatus();
+    }
+    uint64_t pos = (run_start_seq - 1) % num_sectors_;
+    Status wst = device_->Write(log_base + pos * kLogSectorSize, run, fence);
+    run.clear();
+    run_start_seq = end_seq_exclusive;
+    return wst;
+  };
+  for (uint32_t i = 0; i < sectors_needed && st.ok(); ++i) {
+    uint64_t seq = first_seq + i;
+    size_t off = static_cast<size_t>(i) * kLogSectorPayload;
+    uint16_t used = static_cast<uint16_t>(std::min<size_t>(kLogSectorPayload,
+                                                           stream.size() - off));
+    Encoder sector;
+    sector.PutU64(seq);
+    sector.PutU16(used);
+    sector.PutRaw(stream.data() + off, used);
+    Bytes sec = sector.Take();
+    sec.resize(kLogSectorSize, 0);
+    if ((seq - 1) % num_sectors_ == 0 && !run.empty()) {
+      st = flush_run(seq);  // wrapped around: start a new run
+      if (!st.ok()) {
+        break;
+      }
+    }
+    run.insert(run.end(), sec.begin(), sec.end());
+  }
+  if (st.ok()) {
+    st = flush_run(first_seq + sectors_needed);
+  }
+
+  lk.lock();
+  if (st.ok()) {
+    flushed_lsn_ = std::max(flushed_lsn_, flush_bound);
+    while (!pending_.empty() && pending_.front().first <= flush_bound) {
+      pending_.pop_front();
+    }
+  }
+  flushing_ = false;
+  flush_cv_.notify_all();
+  if (st.ok() && more_after_this_pass) {
+    return FlushLocked(lsn, lk);  // continue draining the backlog
+  }
+  return st;
+}
+
+std::vector<LogRecord> ParseLogStream(const Bytes& region, uint32_t num_sectors) {
+  struct Sector {
+    uint64_t seq;
+    uint16_t used;
+    const uint8_t* payload;
+  };
+  std::vector<Sector> sectors;
+  for (uint32_t i = 0; i < num_sectors; ++i) {
+    const uint8_t* base = region.data() + static_cast<size_t>(i) * kLogSectorSize;
+    Decoder dec(base, kLogSectorHeader);
+    uint64_t seq = dec.GetU64();
+    uint16_t used = dec.GetU16();
+    if (seq == 0 || used > kLogSectorPayload) {
+      continue;
+    }
+    sectors.push_back({seq, used, base + kLogSectorHeader});
+  }
+  std::sort(sectors.begin(), sectors.end(),
+            [](const Sector& a, const Sector& b) { return a.seq < b.seq; });
+
+  std::vector<LogRecord> out;
+  Bytes buffer;
+  uint64_t prev_seq = 0;
+  for (const Sector& s : sectors) {
+    if (!buffer.empty() && s.seq != prev_seq + 1) {
+      buffer.clear();  // a carried partial record lost its continuation
+    }
+    prev_seq = s.seq;
+    buffer.insert(buffer.end(), s.payload, s.payload + s.used);
+    for (;;) {
+      LogRecord rec;
+      int64_t consumed = TryParseRecord(buffer, &rec);
+      if (consumed > 0) {
+        out.push_back(std::move(rec));
+        buffer.erase(buffer.begin(), buffer.begin() + consumed);
+      } else if (consumed == 0) {
+        break;  // need the next sector
+      } else {
+        buffer.clear();  // padding or torn data: resync at next sector
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ReplayLog(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+                             int64_t lease_expiry_us) {
+  uint32_t num_sectors = geometry.log_bytes / kLogSectorSize;
+  Bytes region;
+  RETURN_IF_ERROR(device->Read(geometry.LogAddr(slot), geometry.log_bytes, &region));
+  std::vector<LogRecord> records = ParseLogStream(region, num_sectors);
+
+  uint64_t applied = 0;
+  for (const LogRecord& rec : records) {
+    for (const LogBlockUpdate& u : rec.updates) {
+      uint32_t size = BlockKindSize(u.kind);
+      Bytes block;
+      RETURN_IF_ERROR(device->Read(u.addr, size, &block));
+      uint64_t disk_version = BlockVersionOf(u.kind, block);
+      if (disk_version >= u.version) {
+        continue;  // update already completed; never replay (§4)
+      }
+      for (const LogBlockUpdate::Range& r : u.ranges) {
+        if (r.off + r.data.size() > size) {
+          return DataLoss("log record range exceeds block");
+        }
+        std::memcpy(block.data() + r.off, r.data.data(), r.data.size());
+      }
+      SetBlockVersion(u.kind, block, u.version);
+      RETURN_IF_ERROR(device->Write(u.addr, block, lease_expiry_us));
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+Status EraseLog(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+                int64_t lease_expiry_us) {
+  Bytes zeros(geometry.log_bytes, 0);
+  return device->Write(geometry.LogAddr(slot), zeros, lease_expiry_us);
+}
+
+}  // namespace frangipani

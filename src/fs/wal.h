@@ -1,0 +1,135 @@
+// Write-ahead redo logging of metadata (§4).
+//
+// Each Frangipani server owns one 128 KB log region in Petal, written as
+// 512-byte sectors. Every sector carries a monotonically increasing sequence
+// number so recovery can find the end of the circular log even if the disk
+// controller reorders writes; the sector position on disk is seq %
+// num_sectors. Records describe byte-range updates to metadata blocks and
+// carry a new version number per block; recovery applies an update only if
+// the on-disk block's version is older, which makes replay idempotent and
+// safe under multiple logs. Records are CRC-protected so a torn tail is
+// detected and ignored.
+//
+// When the log fills, the oldest 25% is reclaimed: the owner first writes
+// out any metadata blocks those records cover (via the reclaim callback),
+// then the window advances.
+#ifndef SRC_FS_WAL_H_
+#define SRC_FS_WAL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/base/serial.h"
+#include "src/base/status.h"
+#include "src/fs/device.h"
+#include "src/fs/layout.h"
+
+namespace frangipani {
+
+// What kind of metadata block an update targets; determines block size and
+// where the version number lives inside the block.
+enum class BlockKind : uint8_t {
+  kInode = 1,   // 512 B, version at byte 8
+  kMeta4k = 2,  // 4 KB (directory data / bitmap segment), version at byte 0
+};
+
+uint32_t BlockKindSize(BlockKind kind);
+uint32_t BlockKindVersionOffset(BlockKind kind);
+
+// Reads/writes the version field inside a block image.
+uint64_t BlockVersionOf(BlockKind kind, const Bytes& block);
+void SetBlockVersion(BlockKind kind, Bytes& block, uint64_t version);
+
+struct LogBlockUpdate {
+  uint64_t addr = 0;  // block base address on the virtual disk
+  BlockKind kind = BlockKind::kMeta4k;
+  uint64_t version = 0;  // the block's version after this update
+  struct Range {
+    uint32_t off = 0;  // byte offset within the block
+    Bytes data;
+  };
+  std::vector<Range> ranges;
+};
+
+struct LogRecord {
+  uint64_t lsn = 0;  // assigned by LogWriter::Append
+  std::vector<LogBlockUpdate> updates;
+
+  Bytes Encode() const;  // framed: magic, length, payload, crc
+};
+
+inline constexpr uint32_t kLogSectorSize = 512;
+inline constexpr uint32_t kLogSectorHeader = 8 /*seq*/ + 2 /*used*/;
+inline constexpr uint32_t kLogSectorPayload = kLogSectorSize - kLogSectorHeader;
+inline constexpr uint32_t kLogRecordMagic = 0x46474C52;  // "FGLR"
+
+class LogWriter {
+ public:
+  // `reclaim` is invoked when the log is about to overflow: the callee must
+  // write out all metadata blocks pinned by records with lsn <= the argument
+  // (after which those records are dead weight and their space is reused).
+  // `lease_expiry_us` supplies the write-fencing timestamp (may return 0).
+  LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+            std::function<Status(uint64_t up_to_lsn)> reclaim,
+            std::function<int64_t()> lease_expiry_us);
+
+  // Buffers the record in memory and returns its lsn. The record is not
+  // durable until FlushTo/FlushAll (or immediately when sync mode is on).
+  uint64_t Append(LogRecord record);
+
+  // Writes buffered records with lsn <= `lsn` to the log region in Petal.
+  Status FlushTo(uint64_t lsn);
+  Status FlushAll();
+
+  uint64_t next_lsn() const;
+  uint64_t flushed_lsn() const;
+  uint64_t sectors_written() const;
+
+ private:
+  struct LiveRecord {
+    uint64_t lsn;
+    uint64_t first_seq;  // sectors this record occupies on disk
+    uint64_t last_seq;
+  };
+
+  Status FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk);
+
+  BlockDevice* device_;
+  Geometry geometry_;
+  uint32_t slot_;
+  uint32_t num_sectors_;
+  std::function<Status(uint64_t)> reclaim_;
+  std::function<int64_t()> lease_expiry_us_;
+
+  mutable std::mutex mu_;
+  std::deque<std::pair<uint64_t, Bytes>> pending_;  // (lsn, encoded record)
+  std::deque<LiveRecord> live_;                     // flushed, not yet reclaimed
+  uint64_t next_lsn_ = 1;
+  uint64_t flushed_lsn_ = 0;
+  uint64_t next_seq_ = 1;   // next sector sequence number
+  uint64_t tail_seq_ = 1;   // oldest live sector (not yet reclaimable space)
+  bool flushing_ = false;
+  std::condition_variable flush_cv_;
+};
+
+// ---- Recovery (§4) ----
+
+// Parses the log region of `slot` and redoes every intact record whose block
+// versions are newer than what is on disk. Returns the number of records
+// applied. Used by the recovery demon on behalf of a crashed server.
+StatusOr<uint64_t> ReplayLog(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+                             int64_t lease_expiry_us);
+
+// Zeroes the log region ("frees the log") after successful recovery.
+Status EraseLog(BlockDevice* device, const Geometry& geometry, uint32_t slot,
+                int64_t lease_expiry_us);
+
+// Exposed for tests: decodes the sector stream into records.
+std::vector<LogRecord> ParseLogStream(const Bytes& region, uint32_t num_sectors);
+
+}  // namespace frangipani
+
+#endif  // SRC_FS_WAL_H_

@@ -1,0 +1,417 @@
+#include "src/lock/clerk.h"
+
+#include <thread>
+
+#include "src/base/logging.h"
+#include "src/base/serial.h"
+
+namespace frangipani {
+
+LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> router, Clock* clock,
+                     Callbacks callbacks)
+    : net_(net),
+      self_(self),
+      router_(std::move(router)),
+      clock_(clock),
+      callbacks_(std::move(callbacks)) {
+  net_->RegisterService(self_, kServiceName, this);
+}
+
+LockClerk::~LockClerk() { net_->UnregisterService(self_, kServiceName); }
+
+Status LockClerk::Open(const std::string& table) {
+  Encoder enc;
+  enc.PutString(table);
+  Status last = Unavailable("no lock server reachable");
+  for (NodeId server : router_->AllServers()) {
+    StatusOr<Bytes> reply = net_->Call(self_, server, "lockd", kLockOpen, enc.buffer());
+    if (!reply.ok()) {
+      last = reply.status();
+      router_->OnServerTrouble(server);
+      continue;
+    }
+    Decoder dec(reply.value());
+    uint32_t slot = dec.GetU32();
+    int64_t lease_us = dec.GetI64();
+    if (!dec.ok()) {
+      return Internal("malformed open reply");
+    }
+    std::lock_guard<std::mutex> guard(mu_);
+    slot_ = slot;
+    lease_duration_ = Duration(lease_us);
+    lease_expiry_ = clock_->Now() + lease_duration_;
+    open_ = true;
+    poisoned_ = false;
+    return OkStatus();
+  }
+  return last;
+}
+
+void LockClerk::Close() {
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!open_) {
+      return;
+    }
+    slot = slot_;
+    open_ = false;
+    cache_.clear();
+  }
+  Encoder enc;
+  enc.PutU32(slot);
+  StatusOr<NodeId> server = router_->AnyServer();
+  if (server.ok()) {
+    (void)net_->Call(self_, *server, "lockd", kLockClose, enc.buffer());
+  }
+}
+
+uint32_t LockClerk::slot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return slot_;
+}
+
+bool LockClerk::poisoned() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return poisoned_;
+}
+
+Duration LockClerk::lease_duration() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return lease_duration_;
+}
+
+Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request) {
+  constexpr int kAttempts = 6;
+  Status last = Unavailable("no attempt");
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    StatusOr<NodeId> server = router_->ServerForLock(lock);
+    if (!server.ok()) {
+      last = server.status();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << std::min(attempt, 4)));
+      continue;
+    }
+    StatusOr<Bytes> reply = net_->Call(self_, *server, "lockd", method, request);
+    if (reply.ok()) {
+      return OkStatus();
+    }
+    last = reply.status();
+    if (last.code() == StatusCode::kUnavailable ||
+        last.code() == StatusCode::kFailedPrecondition) {
+      // Server down or no longer responsible for this lock group.
+      router_->OnServerTrouble(*server);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << std::min(attempt, 4)));
+      continue;
+    }
+    return last;
+  }
+  return last;
+}
+
+Status LockClerk::Acquire(LockId lock, LockMode mode) {
+  FGP_CHECK(mode != LockMode::kNone);
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    if (poisoned_ || !open_) {
+      return StaleLease("lock table closed or lease lost");
+    }
+    Entry& e = cache_[lock];
+    if (e.revoking || e.pending) {
+      cv_.wait(lk);
+      continue;
+    }
+    if (e.mode == LockMode::kExclusive || e.mode == mode) {
+      ++e.users;
+      e.last_used = clock_->Now();
+      return OkStatus();
+    }
+    if (e.mode == LockMode::kShared && mode == LockMode::kExclusive && e.users > 0) {
+      // Upgrade wanted while another local operation reads under the shared
+      // lock: wait for it to finish first.
+      cv_.wait(lk);
+      continue;
+    }
+    // Need to talk to the server: either a fresh acquire or an upgrade.
+    // Upgrades are issued as a request for the stronger mode; the server
+    // treats a request from an existing holder as an upgrade.
+    e.pending = true;
+    uint32_t slot = slot_;
+    lk.unlock();
+
+    Encoder enc;
+    enc.PutU32(slot);
+    enc.PutU64(lock);
+    enc.PutU8(static_cast<uint8_t>(mode));
+    Status st = ServerCall(kLockRequest, lock, enc.buffer());
+
+    lk.lock();
+    Entry& e2 = cache_[lock];
+    e2.pending = false;
+    if (!st.ok()) {
+      cv_.notify_all();
+      if (st.code() == StatusCode::kStaleLease) {
+        lk.unlock();
+        MarkLeaseLost();
+        lk.lock();
+      }
+      return st;
+    }
+    e2.mode = mode;
+    ++e2.users;
+    e2.last_used = clock_->Now();
+    cv_.notify_all();
+    lk.unlock();
+    // Acknowledge the grant: until this lands, the server will not revoke
+    // this hold, so a revoke can never cross the grant we just applied.
+    Encoder ack;
+    ack.PutU32(slot);
+    ack.PutU64(lock);
+    (void)ServerCall(kLockAck, lock, ack.buffer());
+    return OkStatus();
+  }
+}
+
+void LockClerk::Release(LockId lock) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = cache_.find(lock);
+  if (it == cache_.end()) {
+    return;
+  }
+  FGP_CHECK(it->second.users > 0) << "Release without Acquire for lock " << lock;
+  --it->second.users;
+  it->second.last_used = clock_->Now();
+  cv_.notify_all();
+}
+
+void LockClerk::DropIdle(Duration max_idle) {
+  std::vector<LockId> to_drop;
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!open_ || poisoned_) {
+      return;
+    }
+    slot = slot_;
+    TimePoint now = clock_->Now();
+    for (auto& [lock, e] : cache_) {
+      if (e.mode != LockMode::kNone && e.users == 0 && !e.revoking && !e.pending &&
+          now - e.last_used >= max_idle) {
+        to_drop.push_back(lock);
+      }
+    }
+  }
+  for (LockId lock : to_drop) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      auto it = cache_.find(lock);
+      if (it == cache_.end() || it->second.users > 0 || it->second.revoking ||
+          it->second.pending) {
+        continue;
+      }
+      // Flush dirty data (a write lock may cover dirty blocks) before
+      // giving the lock back.
+      it->second.revoking = true;
+      lk.unlock();
+      if (callbacks_.on_revoke) {
+        callbacks_.on_revoke(lock, LockMode::kNone);
+      }
+      lk.lock();
+      cache_.erase(lock);
+      cv_.notify_all();
+    }
+    Encoder enc;
+    enc.PutU32(slot);
+    enc.PutU64(lock);
+    enc.PutU8(static_cast<uint8_t>(LockMode::kNone));
+    (void)ServerCall(kLockRelease, lock, enc.buffer());
+  }
+}
+
+void LockClerk::RenewTick() {
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!open_ || poisoned_) {
+      return;
+    }
+    slot = slot_;
+  }
+  TimePoint sent = clock_->Now();
+  Encoder enc;
+  enc.PutU32(slot);
+  bool any_ok = false;
+  bool denied = false;
+  for (NodeId server : router_->AllServers()) {
+    StatusOr<Bytes> reply = net_->Call(self_, server, "lockd", kLockRenew, enc.buffer());
+    if (!reply.ok()) {
+      continue;
+    }
+    Decoder dec(reply.value());
+    if (dec.GetBool()) {
+      any_ok = true;
+    } else {
+      denied = true;
+    }
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (any_ok && !denied) {
+    lease_expiry_ = sent + lease_duration_;
+    return;
+  }
+  if (denied || clock_->Now() > lease_expiry_) {
+    lk.unlock();
+    MarkLeaseLost();
+  }
+}
+
+void LockClerk::MarkLeaseLost() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (poisoned_ || !open_) {
+      return;
+    }
+    poisoned_ = true;
+    cache_.clear();
+  }
+  cv_.notify_all();
+  FLOG(WARN) << "clerk@" << self_ << ": lease lost; discarding locks and poisoning mount";
+  if (callbacks_.on_lease_lost) {
+    callbacks_.on_lease_lost();
+  }
+}
+
+bool LockClerk::LeaseValidFor(Duration margin) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!open_ || poisoned_) {
+    return false;
+  }
+  return clock_->Now() + margin <= lease_expiry_;
+}
+
+int64_t LockClerk::LeaseExpiryUs() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!open_ || poisoned_) {
+    return 0;
+  }
+  return std::chrono::duration_cast<std::chrono::microseconds>(lease_expiry_.time_since_epoch())
+      .count();
+}
+
+LockMode LockClerk::CachedMode(LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = cache_.find(lock);
+  return it == cache_.end() ? LockMode::kNone : it->second.mode;
+}
+
+size_t LockClerk::cached_lock_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [lock, e] : cache_) {
+    if (e.mode != LockMode::kNone) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+StatusOr<Bytes> LockClerk::Handle(uint32_t method, const Bytes& request, NodeId from) {
+  Decoder dec(request);
+  switch (method) {
+    case kClerkRevoke:
+      return HandleRevoke(dec);
+    case kClerkRecoverSlot:
+      return HandleRecoverSlot(dec);
+    case kClerkListHeld:
+      return HandleListHeld();
+    default:
+      return InvalidArgument("unknown clerk method");
+  }
+}
+
+StatusOr<Bytes> LockClerk::HandleRevoke(Decoder& dec) {
+  LockId lock = dec.GetU64();
+  LockMode new_mode = static_cast<LockMode>(dec.GetU8());
+  if (!dec.ok()) {
+    return InvalidArgument("bad revoke");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  if (poisoned_ || !open_) {
+    // Our dirty data is gone with the lease; the lock must not change hands
+    // until our log has been recovered. Refusing forces the server down the
+    // dead-holder path (§6).
+    return StaleLease("holder lost its lease; recover its log first");
+  }
+  // Grant/revoke serialization is guaranteed by the server (it never
+  // revokes an unacked grant), so the locally recorded mode is authoritative
+  // here.
+  auto it = cache_.find(lock);
+  if (it == cache_.end() || it->second.mode == LockMode::kNone ||
+      (new_mode == LockMode::kShared && it->second.mode == LockMode::kShared)) {
+    return Bytes{};  // nothing to give back (e.g. our release is in flight)
+  }
+  // Wait for local users of the lock to finish, then flush + downgrade.
+  it->second.revoking = true;
+  cv_.wait(lk, [&] { return cache_[lock].users == 0; });
+  lk.unlock();
+  if (callbacks_.on_revoke) {
+    callbacks_.on_revoke(lock, new_mode);
+  }
+  lk.lock();
+  Entry& e = cache_[lock];
+  e.mode = new_mode;
+  e.revoking = false;
+  if (new_mode == LockMode::kNone && e.users == 0 && !e.pending) {
+    cache_.erase(lock);
+  }
+  lk.unlock();
+  cv_.notify_all();
+  return Bytes{};
+}
+
+StatusOr<Bytes> LockClerk::HandleRecoverSlot(Decoder& dec) {
+  uint32_t dead_slot = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("bad recover request");
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!open_ || poisoned_) {
+      return Unavailable("clerk not serviceable");
+    }
+    if (dead_slot == slot_) {
+      return InvalidArgument("cannot recover own live slot");
+    }
+  }
+  FLOG(INFO) << "clerk@" << self_ << ": running recovery for dead slot " << dead_slot;
+  if (callbacks_.on_recover) {
+    RETURN_IF_ERROR(callbacks_.on_recover(dead_slot));
+  }
+  return Bytes{};
+}
+
+StatusOr<Bytes> LockClerk::HandleListHeld() {
+  Encoder enc;
+  std::lock_guard<std::mutex> guard(mu_);
+  if (poisoned_ || !open_) {
+    enc.PutU32(slot_);
+    enc.PutU32(0);
+    return enc.Take();
+  }
+  uint32_t count = 0;
+  for (const auto& [lock, e] : cache_) {
+    if (e.mode != LockMode::kNone) {
+      ++count;
+    }
+  }
+  enc.PutU32(slot_);
+  enc.PutU32(count);
+  for (const auto& [lock, e] : cache_) {
+    if (e.mode != LockMode::kNone) {
+      enc.PutU64(lock);
+      enc.PutU8(static_cast<uint8_t>(e.mode));
+    }
+  }
+  return enc.Take();
+}
+
+}  // namespace frangipani

@@ -1,0 +1,114 @@
+// The clerk module linked into each Frangipani server (§6). Caches granted
+// locks ("sticky" locks), renews the lease, answers revoke callbacks from
+// lock servers (flushing dirty data through a file-system callback first),
+// runs log recovery on behalf of crashed peers when asked, and reports held
+// locks for lock-server state reconstruction.
+#ifndef SRC_LOCK_CLERK_H_
+#define SRC_LOCK_CLERK_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/lock/router.h"
+#include "src/lock/types.h"
+#include "src/net/network.h"
+
+namespace frangipani {
+
+class LockClerk : public Service {
+ public:
+  struct Callbacks {
+    // Called when the lock service revokes/downgrades `lock`. The callee
+    // must write dirty data covered by the lock to Petal, and invalidate its
+    // cache entries if new_mode == kNone (§5).
+    std::function<void(LockId lock, LockMode new_mode)> on_revoke;
+    // Called when this clerk is chosen to recover a crashed peer's log
+    // (replay log slot `dead_slot` against Petal).
+    std::function<Status(uint32_t dead_slot)> on_recover;
+    // Called once when the lease is lost (network partition / missed
+    // renewals). The file system must discard its cache and poison the
+    // mount (§6).
+    std::function<void()> on_lease_lost;
+  };
+
+  static constexpr const char* kServiceName = "lockclerk";
+
+  LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> router, Clock* clock,
+            Callbacks callbacks);
+  ~LockClerk() override;
+
+  // Opens the lock table; obtains a lease. The returned slot is also this
+  // server's log slot.
+  Status Open(const std::string& table);
+  void Close();
+
+  uint32_t slot() const;
+  bool poisoned() const;
+  Duration lease_duration() const;
+
+  // Blocks until the lock is held in `mode` (served from the cache when
+  // possible). Each Acquire must be paired with a Release; the lock stays
+  // cached after Release until revoked or idle-dropped.
+  Status Acquire(LockId lock, LockMode mode);
+  void Release(LockId lock);
+
+  // Returns cached locks unused for at least `max_idle` to the service
+  // (paper: clerks discard locks unused for 1 hour).
+  void DropIdle(Duration max_idle);
+
+  // Lease management. RenewTick is called periodically (or by tests).
+  void RenewTick();
+  bool LeaseValidFor(Duration margin) const;
+  // Lease expiry in microseconds on the shared steady clock, for fencing
+  // Petal writes (§6). 0 when the lease is invalid.
+  int64_t LeaseExpiryUs() const;
+
+  LockMode CachedMode(LockId lock) const;
+  size_t cached_lock_count() const;
+
+  // Service (calls from lock servers):
+  StatusOr<Bytes> Handle(uint32_t method, const Bytes& request, NodeId from) override;
+
+ private:
+  struct Entry {
+    LockMode mode = LockMode::kNone;
+    int users = 0;
+    bool pending = false;   // a request to the server is in flight
+    bool revoking = false;  // a server revoke is being processed
+    TimePoint last_used{};
+  };
+
+  // Sends a lock-server call with routing/failover.
+  Status ServerCall(uint32_t method, LockId lock, const Bytes& request);
+
+  StatusOr<Bytes> HandleRevoke(Decoder& dec);
+  StatusOr<Bytes> HandleRecoverSlot(Decoder& dec);
+  StatusOr<Bytes> HandleListHeld();
+
+  void MarkLeaseLost();
+
+  Network* net_;
+  NodeId self_;
+  std::unique_ptr<LockRouter> router_;
+  Clock* clock_;
+  Callbacks callbacks_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockId, Entry> cache_;
+  uint32_t slot_ = kInvalidSlot;
+  Duration lease_duration_{};
+  TimePoint lease_expiry_{};
+  bool open_ = false;
+  bool poisoned_ = false;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_LOCK_CLERK_H_

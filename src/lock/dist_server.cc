@@ -1,0 +1,563 @@
+#include "src/lock/dist_server.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/base/logging.h"
+#include "src/base/serial.h"
+#include "src/lock/clerk.h"
+
+namespace frangipani {
+
+Bytes LockCommand::Encode() const {
+  Encoder enc;
+  enc.PutU8(static_cast<uint8_t>(kind));
+  enc.PutU32(server);
+  enc.PutU64(nonce);
+  enc.PutString(table);
+  enc.PutU32(clerk);
+  enc.PutU32(slot);
+  return enc.Take();
+}
+
+StatusOr<LockCommand> LockCommand::Decode(const Bytes& raw) {
+  Decoder dec(raw);
+  LockCommand cmd;
+  cmd.kind = static_cast<LockCmdKind>(dec.GetU8());
+  cmd.server = dec.GetU32();
+  cmd.nonce = dec.GetU64();
+  cmd.table = dec.GetString();
+  cmd.clerk = dec.GetU32();
+  cmd.slot = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("malformed lock command");
+  }
+  return cmd;
+}
+
+void RebalanceGroups(LockGlobalState& state) {
+  size_t n = state.servers.size();
+  if (n == 0) {
+    state.assignment.fill(kInvalidNode);
+    return;
+  }
+  auto is_active = [&](NodeId s) {
+    return std::find(state.servers.begin(), state.servers.end(), s) != state.servers.end();
+  };
+  // Desired per-server counts: within one of each other, deterministic order.
+  size_t base = kNumLockGroups / n;
+  size_t rem = kNumLockGroups % n;
+  std::map<NodeId, size_t> desired;
+  for (size_t i = 0; i < n; ++i) {
+    desired[state.servers[i]] = base + (i < rem ? 1 : 0);
+  }
+  std::map<NodeId, size_t> have;
+  // Pass 1: keep valid assignments up to the desired count; orphan the rest.
+  std::vector<uint32_t> pool;
+  for (uint32_t g = 0; g < kNumLockGroups; ++g) {
+    NodeId s = state.assignment[g];
+    if (s != kInvalidNode && is_active(s) && have[s] < desired[s]) {
+      ++have[s];
+    } else {
+      pool.push_back(g);
+    }
+  }
+  // Pass 2: hand pooled groups to servers below their desired count.
+  size_t si = 0;
+  for (uint32_t g : pool) {
+    while (have[state.servers[si]] >= desired[state.servers[si]]) {
+      si = (si + 1) % n;
+    }
+    state.assignment[g] = state.servers[si];
+    ++have[state.servers[si]];
+  }
+}
+
+DistLockServer::DistLockServer(Network* net, NodeId self, std::vector<NodeId> paxos_group,
+                               std::vector<NodeId> initial_active,
+                               PaxosDurableState* paxos_state, Clock* clock,
+                               Duration lease_duration)
+    : net_(net), self_(self), clock_(clock), lease_duration_(lease_duration) {
+  state_.servers = std::move(initial_active);
+  state_.assignment.fill(kInvalidNode);
+  state_.recovery_claim.fill(kInvalidNode);
+  RebalanceGroups(state_);
+  for (uint32_t g = 0; g < kNumLockGroups; ++g) {
+    if (state_.assignment[g] == self_) {
+      cold_groups_.insert(g);
+    }
+  }
+  last_renew_.fill(clock_->Now());
+  paxos_ = std::make_unique<PaxosPeer>(
+      net_, self_, std::move(paxos_group), paxos_state,
+      [this](uint64_t index, const Bytes& cmd) { OnApply(index, cmd); });
+  net_->RegisterService(self_, kServiceName, this);
+  paxos_->CatchUp();
+}
+
+DistLockServer::~DistLockServer() {
+  net_->UnregisterService(self_, kServiceName);
+  net_->UnregisterService(self_, PaxosPeer::kServiceName);
+}
+
+void DistLockServer::OnApply(uint64_t index, const Bytes& raw) {
+  StatusOr<LockCommand> cmd = LockCommand::Decode(raw);
+  if (!cmd.ok()) {
+    FLOG(ERROR) << "dist-lockd: dropping malformed command at " << index;
+    return;
+  }
+  std::lock_guard<std::mutex> guard(mu_);
+  switch (cmd->kind) {
+    case LockCmdKind::kAddServer:
+    case LockCmdKind::kRemoveServer: {
+      auto it = std::find(state_.servers.begin(), state_.servers.end(), cmd->server);
+      if (cmd->kind == LockCmdKind::kAddServer && it == state_.servers.end()) {
+        state_.servers.push_back(cmd->server);
+      } else if (cmd->kind == LockCmdKind::kRemoveServer && it != state_.servers.end()) {
+        state_.servers.erase(it);
+      } else {
+        break;  // no-op; assignment unchanged
+      }
+      std::array<NodeId, kNumLockGroups> before = state_.assignment;
+      RebalanceGroups(state_);
+      for (uint32_t g = 0; g < kNumLockGroups; ++g) {
+        if (state_.assignment[g] == self_ && before[g] != self_) {
+          cold_groups_.insert(g);  // phase 2: must recover state from clerks
+        }
+      }
+      break;
+    }
+    case LockCmdKind::kOpenClerk: {
+      uint32_t slot = kInvalidSlot;
+      for (uint32_t s = 0; s < kNumLeaseSlots; ++s) {
+        if (!state_.slots[s].open) {
+          slot = s;
+          break;
+        }
+      }
+      if (slot != kInvalidSlot) {
+        state_.slots[slot] = {true, cmd->table, cmd->clerk};
+        last_renew_[slot] = clock_->Now();
+      }
+      if (cmd->nonce != 0) {
+        nonce_slots_[cmd->nonce] = slot;
+        cv_.notify_all();
+      }
+      break;
+    }
+    case LockCmdKind::kCloseClerk: {
+      if (cmd->slot < kNumLeaseSlots) {
+        state_.slots[cmd->slot] = {};
+        core_.ReleaseAll(cmd->slot);
+      }
+      break;
+    }
+    case LockCmdKind::kClaimRecovery: {
+      if (cmd->slot < kNumLeaseSlots && state_.slots[cmd->slot].open &&
+          state_.recovery_claim[cmd->slot] == kInvalidNode) {
+        state_.recovery_claim[cmd->slot] = cmd->server;
+      }
+      cv_.notify_all();
+      break;
+    }
+    case LockCmdKind::kSlotRecovered: {
+      if (cmd->slot < kNumLeaseSlots) {
+        state_.slots[cmd->slot] = {};
+        state_.recovery_claim[cmd->slot] = kInvalidNode;
+        core_.ReleaseAll(cmd->slot);
+      }
+      cv_.notify_all();
+      break;
+    }
+  }
+}
+
+Status DistLockServer::ProposeAddServer(NodeId server) {
+  LockCommand cmd;
+  cmd.kind = LockCmdKind::kAddServer;
+  cmd.server = server;
+  return paxos_->Propose(cmd.Encode()).status();
+}
+
+Status DistLockServer::ProposeRemoveServer(NodeId server) {
+  LockCommand cmd;
+  cmd.kind = LockCmdKind::kRemoveServer;
+  cmd.server = server;
+  return paxos_->Propose(cmd.Encode()).status();
+}
+
+LockGlobalState DistLockServer::StateSnapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return state_;
+}
+
+bool DistLockServer::SlotLiveLocally(uint32_t slot) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (slot >= kNumLeaseSlots || !state_.slots[slot].open) {
+    return false;
+  }
+  return clock_->Now() <= last_renew_[slot] + lease_duration_;
+}
+
+NodeId DistLockServer::ClerkOf(uint32_t slot) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (slot >= kNumLeaseSlots || !state_.slots[slot].open) {
+    return kInvalidNode;
+  }
+  return state_.slots[slot].clerk;
+}
+
+StatusOr<Bytes> DistLockServer::Handle(uint32_t method, const Bytes& request, NodeId from) {
+  Decoder dec(request);
+  switch (method) {
+    case kLockOpen:
+      return DoOpen(dec, from);
+    case kLockClose:
+      return DoClose(dec);
+    case kLockRenew:
+      return DoRenew(dec);
+    case kLockRequest:
+      return DoRequest(dec);
+    case kLockRelease:
+      return DoRelease(dec);
+    case kLockAck: {
+      uint32_t slot = dec.GetU32();
+      LockId lock = dec.GetU64();
+      if (!dec.ok()) {
+        return InvalidArgument("bad ack");
+      }
+      core_.Ack(slot, lock);
+      return Bytes{};
+    }
+    case kLockGetAssignment:
+      return DoGetAssignment();
+    default:
+      return InvalidArgument("unknown lockd method");
+  }
+}
+
+StatusOr<Bytes> DistLockServer::DoOpen(Decoder& dec, NodeId from) {
+  std::string table = dec.GetString();
+  if (!dec.ok()) {
+    return InvalidArgument("bad open");
+  }
+  LockCommand cmd;
+  cmd.kind = LockCmdKind::kOpenClerk;
+  cmd.table = table;
+  cmd.clerk = from;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    cmd.nonce = (static_cast<uint64_t>(self_) << 40) | next_nonce_++;
+  }
+  RETURN_IF_ERROR(paxos_->Propose(cmd.Encode()).status());
+  std::unique_lock<std::mutex> lk(mu_);
+  bool done = cv_.wait_for(lk, std::chrono::seconds(10),
+                           [&] { return nonce_slots_.count(cmd.nonce) > 0; });
+  if (!done) {
+    return DeadlineExceeded("open not applied");
+  }
+  uint32_t slot = nonce_slots_[cmd.nonce];
+  if (slot == kInvalidSlot) {
+    return ResourceExhausted("no free lease slots");
+  }
+  Encoder enc;
+  enc.PutU32(slot);
+  enc.PutI64(std::chrono::duration_cast<std::chrono::microseconds>(lease_duration_).count());
+  return enc.Take();
+}
+
+StatusOr<Bytes> DistLockServer::DoClose(Decoder& dec) {
+  uint32_t slot = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("bad close");
+  }
+  LockCommand cmd;
+  cmd.kind = LockCmdKind::kCloseClerk;
+  cmd.slot = slot;
+  RETURN_IF_ERROR(paxos_->Propose(cmd.Encode()).status());
+  return Bytes{};
+}
+
+StatusOr<Bytes> DistLockServer::DoRenew(Decoder& dec) {
+  uint32_t slot = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("bad renew");
+  }
+  Encoder enc;
+  std::lock_guard<std::mutex> guard(mu_);
+  bool ok = slot < kNumLeaseSlots && state_.slots[slot].open &&
+            state_.recovery_claim[slot] == kInvalidNode &&
+            clock_->Now() <= last_renew_[slot] + lease_duration_;
+  if (ok) {
+    last_renew_[slot] = clock_->Now();
+  }
+  enc.PutBool(ok);
+  return enc.Take();
+}
+
+StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
+  uint32_t slot = dec.GetU32();
+  LockId lock = dec.GetU64();
+  LockMode mode = static_cast<LockMode>(dec.GetU8());
+  if (!dec.ok()) {
+    return InvalidArgument("bad request");
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    uint32_t group = LockGroupOf(lock);
+    if (state_.assignment[group] != self_) {
+      return FailedPrecondition("lock group not served here");
+    }
+    if (slot >= kNumLeaseSlots || !state_.slots[slot].open) {
+      return StaleLease("slot not open");
+    }
+    if (clock_->Now() > last_renew_[slot] + lease_duration_) {
+      return StaleLease("lease expired");
+    }
+  }
+  WarmColdGroups();
+  RETURN_IF_ERROR(core_.Request(
+      slot, lock, mode,
+      [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
+      [this](uint32_t holder) { HandleDeadHolder(holder); }));
+  return Bytes{};
+}
+
+StatusOr<Bytes> DistLockServer::DoRelease(Decoder& dec) {
+  uint32_t slot = dec.GetU32();
+  LockId lock = dec.GetU64();
+  LockMode new_mode = static_cast<LockMode>(dec.GetU8());
+  if (!dec.ok()) {
+    return InvalidArgument("bad release");
+  }
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (state_.assignment[LockGroupOf(lock)] != self_) {
+      return FailedPrecondition("lock group not served here");
+    }
+  }
+  core_.Release(slot, lock, new_mode);
+  return Bytes{};
+}
+
+StatusOr<Bytes> DistLockServer::DoGetAssignment() {
+  Encoder enc;
+  std::lock_guard<std::mutex> guard(mu_);
+  enc.PutU32(static_cast<uint32_t>(state_.servers.size()));
+  for (NodeId s : state_.servers) {
+    enc.PutU32(s);
+  }
+  enc.PutU32(kNumLockGroups);
+  for (uint32_t g = 0; g < kNumLockGroups; ++g) {
+    enc.PutU32(state_.assignment[g]);
+  }
+  return enc.Take();
+}
+
+void DistLockServer::WarmColdGroups() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (cold_groups_.empty()) {
+    return;
+  }
+  if (warming_) {
+    cv_.wait(lk, [&] { return !warming_; });
+    return;
+  }
+  warming_ = true;
+  std::set<uint32_t> groups = cold_groups_;
+  std::vector<std::pair<uint32_t, NodeId>> clerks;
+  for (uint32_t s = 0; s < kNumLeaseSlots; ++s) {
+    if (state_.slots[s].open) {
+      clerks.emplace_back(s, state_.slots[s].clerk);
+    }
+  }
+  lk.unlock();
+
+  for (const auto& [slot, clerk] : clerks) {
+    StatusOr<Bytes> reply =
+        net_->Call(self_, clerk, LockClerk::kServiceName, kClerkListHeld, Bytes{});
+    if (!reply.ok()) {
+      continue;  // unreachable clerk: its lease will expire and be recovered
+    }
+    Decoder dec(reply.value());
+    uint32_t reported_slot = dec.GetU32();
+    uint32_t count = dec.GetU32();
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      LockId lock = dec.GetU64();
+      LockMode mode = static_cast<LockMode>(dec.GetU8());
+      if (groups.count(LockGroupOf(lock)) > 0) {
+        core_.Install(reported_slot, lock, mode);
+      }
+    }
+  }
+
+  lk.lock();
+  for (uint32_t g : groups) {
+    cold_groups_.erase(g);
+  }
+  warming_ = false;
+  lk.unlock();
+  cv_.notify_all();
+}
+
+Status DistLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode) {
+  if (!SlotLiveLocally(holder)) {
+    bool open;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      open = holder < kNumLeaseSlots && state_.slots[holder].open;
+    }
+    if (open) {
+      // Dead by definition: do not ask the zombie; run recovery instead.
+      return Unavailable("holder lease expired");
+    }
+  }
+  NodeId clerk = ClerkOf(holder);
+  if (clerk == kInvalidNode) {
+    return OkStatus();
+  }
+  Encoder enc;
+  enc.PutU64(lock);
+  enc.PutU8(static_cast<uint8_t>(new_mode));
+  return net_->Call(self_, clerk, LockClerk::kServiceName, kClerkRevoke, enc.buffer()).status();
+}
+
+void DistLockServer::HandleDeadHolder(uint32_t holder) {
+  {
+    std::unique_lock<std::mutex> lk(recovery_mu_);
+    if (recovering_.count(holder) > 0) {
+      recovery_cv_.wait(lk, [&] { return recovering_.count(holder) == 0; });
+      return;
+    }
+  }
+  if (!SlotLiveLocally(holder)) {
+    bool open;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      open = holder < kNumLeaseSlots && state_.slots[holder].open;
+    }
+    if (!open) {
+      return;  // already recovered
+    }
+  } else {
+    // Lease still valid: transient failure; let the requester retry.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(recovery_mu_);
+    if (recovering_.count(holder) > 0) {
+      return;
+    }
+    recovering_.insert(holder);
+  }
+
+  // Claim the recovery so only one demon replays this log (§6: the recovery
+  // demon holds an exclusive lock on the log; here the claim is replicated).
+  LockCommand claim;
+  claim.kind = LockCmdKind::kClaimRecovery;
+  claim.slot = holder;
+  claim.server = self_;
+  (void)paxos_->Propose(claim.Encode());
+  NodeId claimed_by;
+  bool still_open;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    claimed_by = state_.recovery_claim[holder];
+    still_open = state_.slots[holder].open;
+  }
+  if (!still_open || (claimed_by != self_ && claimed_by != kInvalidNode)) {
+    // Someone else drives it (or it's done). Wait until the slot is freed.
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::seconds(30), [&] { return !state_.slots[holder].open; });
+    std::lock_guard<std::mutex> rl(recovery_mu_);
+    recovering_.erase(holder);
+    recovery_cv_.notify_all();
+    return;
+  }
+
+  FLOG(WARN) << "dist-lockd@" << self_ << ": recovering dead slot " << holder;
+  bool recovered = false;
+  for (int round = 0; round < 8 && !recovered; ++round) {
+    std::vector<std::pair<uint32_t, NodeId>> clerks;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      for (uint32_t s = 0; s < kNumLeaseSlots; ++s) {
+        if (s != holder && state_.slots[s].open &&
+            clock_->Now() <= last_renew_[s] + lease_duration_) {
+          clerks.emplace_back(s, state_.slots[s].clerk);
+        }
+      }
+    }
+    for (const auto& [slot, clerk] : clerks) {
+      Encoder enc;
+      enc.PutU32(holder);
+      StatusOr<Bytes> reply =
+          net_->Call(self_, clerk, LockClerk::kServiceName, kClerkRecoverSlot, enc.buffer());
+      if (reply.ok()) {
+        recovered = true;
+        break;
+      }
+    }
+    if (!recovered) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (recovered) {
+    LockCommand done;
+    done.kind = LockCmdKind::kSlotRecovered;
+    done.slot = holder;
+    (void)paxos_->Propose(done.Encode());
+  }
+  {
+    std::lock_guard<std::mutex> lk(recovery_mu_);
+    recovering_.erase(holder);
+  }
+  recovery_cv_.notify_all();
+}
+
+void DistLockServer::CheckLeases() {
+  std::vector<uint32_t> expired;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    TimePoint now = clock_->Now();
+    for (uint32_t s = 0; s < kNumLeaseSlots; ++s) {
+      if (state_.slots[s].open && now > last_renew_[s] + lease_duration_) {
+        expired.push_back(s);
+      }
+    }
+  }
+  for (uint32_t slot : expired) {
+    HandleDeadHolder(slot);
+  }
+}
+
+void DistLockServer::FailureDetectTick(int threshold) {
+  std::vector<NodeId> peers;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    peers = state_.servers;
+  }
+  for (NodeId peer : peers) {
+    if (peer == self_) {
+      continue;
+    }
+    StatusOr<Bytes> r = net_->Call(self_, peer, kServiceName, kLockGetAssignment, Bytes{});
+    std::unique_lock<std::mutex> lk(mu_);
+    if (r.ok()) {
+      ping_failures_[peer] = 0;
+      continue;
+    }
+    int fails = ++ping_failures_[peer];
+    lk.unlock();
+    if (fails >= threshold) {
+      FLOG(WARN) << "dist-lockd@" << self_ << ": peer " << peer << " missed " << fails
+                 << " pings; proposing removal";
+      (void)ProposeRemoveServer(peer);
+      std::lock_guard<std::mutex> guard(mu_);
+      ping_failures_[peer] = 0;
+    }
+  }
+}
+
+}  // namespace frangipani

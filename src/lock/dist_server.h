@@ -1,0 +1,155 @@
+// Lock service implementation #3 (§6), the paper's final one: "fully
+// distributed for fault tolerance and scalable performance. It consists of a
+// set of mutually cooperating lock servers, and a clerk module linked into
+// each Frangipani server."
+//
+//  - Locks are partitioned into ~100 lock groups; groups (not individual
+//    locks) are assigned to servers.
+//  - A small amount of global state is replicated across all lock servers
+//    using Paxos: the list of lock servers, the group assignment, and the
+//    list of clerks that have the table open.
+//  - When servers join/leave, groups are reassigned such that load is
+//    balanced, reassignment is minimized, and each group has exactly one
+//    server; gaining servers recover the state of their new locks from the
+//    clerks (two-phase reassignment).
+//  - Lock state itself (who holds what) is volatile per group owner and is
+//    reconstructed from clerks on reassignment.
+//  - Crashed Frangipani servers are detected via lease expiry; a live clerk
+//    replays the dead log, and the dead slot's locks are then released on
+//    every server via a replicated command. A replicated claim marker
+//    guarantees only one recovery demon per log (the paper uses an exclusive
+//    lock on the log for the same purpose).
+#ifndef SRC_LOCK_DIST_SERVER_H_
+#define SRC_LOCK_DIST_SERVER_H_
+
+#include <array>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/lock/lock_core.h"
+#include "src/lock/types.h"
+#include "src/net/network.h"
+#include "src/paxos/paxos.h"
+
+namespace frangipani {
+
+enum class LockCmdKind : uint8_t {
+  kAddServer = 1,
+  kRemoveServer = 2,
+  kOpenClerk = 3,
+  kCloseClerk = 4,
+  kClaimRecovery = 5,
+  kSlotRecovered = 6,
+};
+
+struct LockCommand {
+  LockCmdKind kind{};
+  NodeId server = kInvalidNode;
+  uint64_t nonce = 0;
+  std::string table;
+  NodeId clerk = kInvalidNode;
+  uint32_t slot = kInvalidSlot;
+
+  Bytes Encode() const;
+  static StatusOr<LockCommand> Decode(const Bytes& raw);
+};
+
+// The Paxos-replicated view every lock server maintains.
+struct LockGlobalState {
+  std::vector<NodeId> servers;                       // active lock servers
+  std::array<NodeId, kNumLockGroups> assignment{};   // group -> server
+  struct SlotInfo {
+    bool open = false;
+    std::string table;
+    NodeId clerk = kInvalidNode;
+  };
+  std::array<SlotInfo, kNumLeaseSlots> slots{};
+  std::array<NodeId, kNumLeaseSlots> recovery_claim{};  // slot -> claiming server
+};
+
+// Deterministically rebalances `assignment` over `servers`: every group gets
+// exactly one active server, per-server counts differ by at most one, and
+// already-valid assignments move only when balance requires it.
+void RebalanceGroups(LockGlobalState& state);
+
+class DistLockServer : public Service {
+ public:
+  static constexpr const char* kServiceName = "lockd";
+
+  DistLockServer(Network* net, NodeId self, std::vector<NodeId> paxos_group,
+                 std::vector<NodeId> initial_active, PaxosDurableState* paxos_state, Clock* clock,
+                 Duration lease_duration = kDefaultLeaseDuration);
+  ~DistLockServer() override;
+
+  StatusOr<Bytes> Handle(uint32_t method, const Bytes& request, NodeId from) override;
+
+  // Membership administration (driven by the harness or by the failure
+  // detector below).
+  Status ProposeAddServer(NodeId server);
+  Status ProposeRemoveServer(NodeId server);
+
+  // Lease sweep: initiates recovery for locally-expired slots.
+  void CheckLeases();
+
+  // Pings peers; proposes removal of peers that miss `threshold` consecutive
+  // pings. One call = one round (drive from a PeriodicTask).
+  void FailureDetectTick(int threshold = 3);
+
+  LockGlobalState StateSnapshot() const;
+  size_t lock_count() const { return core_.lock_count(); }
+  NodeId node() const { return self_; }
+  PaxosPeer* paxos() { return paxos_.get(); }
+
+ private:
+  void OnApply(uint64_t index, const Bytes& raw);
+
+  StatusOr<Bytes> DoOpen(Decoder& dec, NodeId from);
+  StatusOr<Bytes> DoClose(Decoder& dec);
+  StatusOr<Bytes> DoRenew(Decoder& dec);
+  StatusOr<Bytes> DoRequest(Decoder& dec);
+  StatusOr<Bytes> DoRelease(Decoder& dec);
+  StatusOr<Bytes> DoGetAssignment();
+
+  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode);
+  void HandleDeadHolder(uint32_t holder);
+
+  // Phase 2 of reassignment: rebuild lock state for groups this server just
+  // gained by querying every clerk with the table open.
+  void WarmColdGroups();
+
+  bool SlotLiveLocally(uint32_t slot) const;
+  NodeId ClerkOf(uint32_t slot) const;
+
+  Network* net_;
+  NodeId self_;
+  Clock* clock_;
+  Duration lease_duration_;
+  LockCore core_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  LockGlobalState state_;
+  std::map<uint64_t, uint32_t> nonce_slots_;  // open-clerk results
+  uint64_t next_nonce_ = 1;
+  std::array<TimePoint, kNumLeaseSlots> last_renew_{};
+  std::set<uint32_t> cold_groups_;
+  bool warming_ = false;
+
+  std::mutex recovery_mu_;
+  std::condition_variable recovery_cv_;
+  std::set<uint32_t> recovering_;
+
+  std::map<NodeId, int> ping_failures_;
+
+  std::unique_ptr<PaxosPeer> paxos_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_LOCK_DIST_SERVER_H_

@@ -1,0 +1,169 @@
+#include "src/lock/lock_core.h"
+
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+std::vector<std::pair<uint32_t, LockMode>> LockCore::Conflicts(const LockState& ls, uint32_t slot,
+                                                               LockMode mode) {
+  std::vector<std::pair<uint32_t, LockMode>> out;
+  for (const auto& [holder, held] : ls.holders) {
+    if (holder == slot) {
+      continue;
+    }
+    if (mode == LockMode::kExclusive) {
+      out.emplace_back(holder, LockMode::kNone);  // everyone else must go
+    } else if (held == LockMode::kExclusive) {
+      out.emplace_back(holder, LockMode::kShared);  // writer downgrades for a reader
+    }
+  }
+  return out;
+}
+
+Status LockCore::Request(uint32_t slot, LockId lock, LockMode mode, const RevokeFn& revoke,
+                         const DeadHolderFn& on_dead) {
+  if (mode == LockMode::kNone) {
+    return InvalidArgument("cannot request mode none");
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  uint64_t ticket = locks_[lock].next_ticket++;
+  cv_.wait(lk, [&] { return locks_[lock].serving == ticket; });
+
+  for (;;) {
+    LockState& ls = locks_[lock];
+    auto self = ls.holders.find(slot);
+    if (self != ls.holders.end() &&
+        (self->second == mode || self->second == LockMode::kExclusive)) {
+      break;  // already hold it strongly enough
+    }
+    std::vector<std::pair<uint32_t, LockMode>> conflicts = Conflicts(ls, slot, mode);
+    if (conflicts.empty()) {
+      ls.holders[slot] = mode;
+      ls.unacked.insert(slot);
+      break;
+    }
+    // Never revoke a hold whose grant the clerk has not acknowledged yet;
+    // the ack depends only on the grant response arriving, so this wait is
+    // finite unless the holder died (then the timeout falls through to the
+    // normal dead-holder path via the failed revoke).
+    for (const auto& [holder, new_mode] : conflicts) {
+      cv_.wait_for(lk, std::chrono::seconds(2), [&] {
+        return locks_[lock].unacked.count(holder) == 0;
+      });
+    }
+    lk.unlock();
+    for (const auto& [holder, new_mode] : conflicts) {
+      Status st = revoke(holder, lock, new_mode);
+      if (st.ok()) {
+        std::lock_guard<std::mutex> apply(mu_);
+        LockState& state = locks_[lock];
+        auto it = state.holders.find(holder);
+        if (it != state.holders.end()) {
+          if (new_mode == LockMode::kNone) {
+            state.holders.erase(it);
+          } else if (it->second == LockMode::kExclusive) {
+            it->second = new_mode;
+          }
+        }
+      } else {
+        // Holder unreachable: let the server orchestrate recovery; its locks
+        // are dropped via ReleaseAll once the dead server's log is replayed.
+        on_dead(holder);
+      }
+    }
+    lk.lock();
+  }
+  locks_[lock].serving++;
+  lk.unlock();
+  cv_.notify_all();
+  return OkStatus();
+}
+
+void LockCore::Ack(uint32_t slot, LockId lock) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto it = locks_.find(lock);
+    if (it != locks_.end()) {
+      it->second.unacked.erase(slot);
+    }
+  }
+  cv_.notify_all();
+}
+
+void LockCore::Release(uint32_t slot, LockId lock, LockMode new_mode) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    auto lit = locks_.find(lock);
+    if (lit == locks_.end()) {
+      return;
+    }
+    auto hit = lit->second.holders.find(slot);
+    if (hit == lit->second.holders.end()) {
+      return;
+    }
+    if (new_mode == LockMode::kNone) {
+      lit->second.holders.erase(hit);
+      lit->second.unacked.erase(slot);
+    } else if (hit->second == LockMode::kExclusive) {
+      hit->second = new_mode;
+    }
+  }
+  cv_.notify_all();
+}
+
+void LockCore::ReleaseAll(uint32_t slot) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    for (auto& [lock, state] : locks_) {
+      state.holders.erase(slot);
+      state.unacked.erase(slot);
+    }
+  }
+  cv_.notify_all();
+}
+
+void LockCore::Install(uint32_t slot, LockId lock, LockMode mode) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (mode != LockMode::kNone) {
+    locks_[lock].holders[slot] = mode;
+  }
+}
+
+std::vector<std::tuple<LockId, uint32_t, LockMode>> LockCore::Dump() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::vector<std::tuple<LockId, uint32_t, LockMode>> out;
+  for (const auto& [lock, state] : locks_) {
+    for (const auto& [holder, mode] : state.holders) {
+      out.emplace_back(lock, holder, mode);
+    }
+  }
+  return out;
+}
+
+void LockCore::Clear() {
+  std::lock_guard<std::mutex> guard(mu_);
+  locks_.clear();
+}
+
+LockMode LockCore::HeldMode(uint32_t slot, LockId lock) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto lit = locks_.find(lock);
+  if (lit == locks_.end()) {
+    return LockMode::kNone;
+  }
+  auto hit = lit->second.holders.find(slot);
+  return hit == lit->second.holders.end() ? LockMode::kNone : hit->second;
+}
+
+size_t LockCore::lock_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  size_t n = 0;
+  for (const auto& [lock, state] : locks_) {
+    if (!state.holders.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace frangipani

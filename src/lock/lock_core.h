@@ -1,0 +1,84 @@
+// The multiple-reader/single-writer lock state machine shared by all three
+// lock-server implementations (§6). Handles granting, per-lock FIFO
+// fairness, revocation of conflicting holders, and dead-holder cleanup.
+//
+// Threading model: Request() runs on the requesting clerk's RPC thread and
+// blocks until the lock is granted (our transport's equivalent of the
+// paper's asynchronous grant message). Revocations are issued synchronously
+// through a caller-supplied callback while the core mutex is dropped.
+#ifndef SRC_LOCK_LOCK_CORE_H_
+#define SRC_LOCK_LOCK_CORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/lock/types.h"
+
+namespace frangipani {
+
+class LockCore {
+ public:
+  // Asks slot `holder` to reduce its hold on `lock` to `new_mode`
+  // (kNone = release, kShared = downgrade). Returns OK once the holder has
+  // complied (flushed dirty data etc.). Called with the core mutex dropped.
+  using RevokeFn = std::function<Status(uint32_t holder, LockId lock, LockMode new_mode)>;
+
+  // Invoked when a revoke fails (holder unreachable). The callee is expected
+  // to eventually resolve the situation (wait for lease expiry, run log
+  // recovery, then ReleaseAll(dead_slot)). Called with the mutex dropped;
+  // may block.
+  using DeadHolderFn = std::function<void(uint32_t holder)>;
+
+  // Blocks until `slot` holds `lock` in `mode`. Re-requests are idempotent.
+  // A holder of kShared requesting kExclusive is upgraded (other sharers are
+  // revoked). A fresh grant is "unacked" until the clerk calls Ack: the core
+  // will not revoke an unacked hold, so a revoke can never cross a grant
+  // response still in flight to the clerk (grant/revoke serialization).
+  Status Request(uint32_t slot, LockId lock, LockMode mode, const RevokeFn& revoke,
+                 const DeadHolderFn& on_dead);
+
+  // Clerk acknowledgment that the grant reached it (applied locally).
+  void Ack(uint32_t slot, LockId lock);
+
+  // Voluntary release (new_mode = kNone) or downgrade (kShared).
+  void Release(uint32_t slot, LockId lock, LockMode new_mode);
+
+  // Drops every lock held by `slot` (after its log has been recovered).
+  void ReleaseAll(uint32_t slot);
+
+  // State injection for recovery from clerks / primary-backup takeover.
+  void Install(uint32_t slot, LockId lock, LockMode mode);
+
+  // Serializes (lock, slot, mode) triples for persistence.
+  std::vector<std::tuple<LockId, uint32_t, LockMode>> Dump() const;
+  void Clear();
+
+  LockMode HeldMode(uint32_t slot, LockId lock) const;
+  size_t lock_count() const;
+
+ private:
+  struct LockState {
+    std::map<uint32_t, LockMode> holders;
+    std::set<uint32_t> unacked;  // granted but not yet acked by the clerk
+    uint64_t next_ticket = 0;
+    uint64_t serving = 0;
+  };
+
+  // Returns targets that must be revoked before `slot` can hold `mode`.
+  static std::vector<std::pair<uint32_t, LockMode>> Conflicts(const LockState& ls, uint32_t slot,
+                                                              LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockId, LockState> locks_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_LOCK_LOCK_CORE_H_

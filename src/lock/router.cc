@@ -1,0 +1,84 @@
+#include "src/lock/router.h"
+
+#include "src/base/serial.h"
+
+namespace frangipani {
+
+Status DistLockRouter::Refresh() {
+  for (NodeId server : bootstrap_) {
+    StatusOr<Bytes> reply = net_->Call(self_, server, "lockd", kLockGetAssignment, Bytes{});
+    if (!reply.ok()) {
+      continue;
+    }
+    Decoder dec(reply.value());
+    uint32_t nservers = dec.GetU32();
+    std::vector<NodeId> servers;
+    for (uint32_t i = 0; i < nservers && dec.ok(); ++i) {
+      servers.push_back(dec.GetU32());
+    }
+    uint32_t ngroups = dec.GetU32();
+    std::vector<NodeId> assignment;
+    for (uint32_t i = 0; i < ngroups && dec.ok(); ++i) {
+      assignment.push_back(dec.GetU32());
+    }
+    if (!dec.ok() || assignment.size() != kNumLockGroups) {
+      continue;
+    }
+    std::lock_guard<std::mutex> guard(mu_);
+    servers_ = std::move(servers);
+    assignment_ = std::move(assignment);
+    have_map_ = true;
+    return OkStatus();
+  }
+  return Unavailable("no lock server reachable for assignment refresh");
+}
+
+StatusOr<NodeId> DistLockRouter::ServerForLock(LockId lock) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (have_map_) {
+      NodeId server = assignment_[LockGroupOf(lock)];
+      if (server != kInvalidNode) {
+        return server;
+      }
+    }
+  }
+  RETURN_IF_ERROR(Refresh());
+  std::lock_guard<std::mutex> guard(mu_);
+  NodeId server = assignment_[LockGroupOf(lock)];
+  if (server == kInvalidNode) {
+    return Unavailable("lock group unassigned");
+  }
+  return server;
+}
+
+StatusOr<NodeId> DistLockRouter::AnyServer() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (have_map_ && !servers_.empty()) {
+      return servers_.front();
+    }
+  }
+  RETURN_IF_ERROR(Refresh());
+  std::lock_guard<std::mutex> guard(mu_);
+  if (servers_.empty()) {
+    return Unavailable("no active lock servers");
+  }
+  return servers_.front();
+}
+
+std::vector<NodeId> DistLockRouter::AllServers() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (have_map_) {
+      return servers_;
+    }
+  }
+  (void)Refresh();
+  std::lock_guard<std::mutex> guard(mu_);
+  return servers_;
+}
+
+void DistLockRouter::OnServerTrouble(NodeId server) { (void)Refresh(); }
+
+}  // namespace frangipani

@@ -1,0 +1,78 @@
+// Lock service vocabulary (§6): multiple-reader/single-writer locks organized
+// in tables named by ASCII strings; individual locks named by 64-bit
+// integers. Clerks obtain a lease on open; the lease identifier doubles as
+// the Frangipani server's log slot (§7: "determines which portion of the log
+// space to use from the lease identifier").
+#ifndef SRC_LOCK_TYPES_H_
+#define SRC_LOCK_TYPES_H_
+
+#include <cstdint>
+
+#include "src/base/clock.h"
+
+namespace frangipani {
+
+using LockId = uint64_t;
+
+enum class LockMode : uint8_t {
+  kNone = 0,
+  kShared = 1,
+  kExclusive = 2,
+};
+
+inline const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNone:
+      return "none";
+    case LockMode::kShared:
+      return "shared";
+    case LockMode::kExclusive:
+      return "exclusive";
+  }
+  return "?";
+}
+
+// Lease slots: the paper reserves 256 logs, one per active server.
+inline constexpr uint32_t kNumLeaseSlots = 256;
+inline constexpr uint32_t kInvalidSlot = ~0u;
+
+// The distributed implementation partitions locks into ~100 groups (§6).
+inline constexpr uint32_t kNumLockGroups = 100;
+
+inline uint32_t LockGroupOf(LockId lock) {
+  uint64_t h = lock * 0x9E3779B97F4A7C15ull;
+  return static_cast<uint32_t>((h >> 32) % kNumLockGroups);
+}
+
+// Default lease duration (paper: 30 s) and the safety margin a server leaves
+// before lease expiry when touching Petal (paper: 15 s). Benchmarks and tests
+// scale these down.
+inline constexpr Duration kDefaultLeaseDuration{30'000'000};
+inline constexpr Duration kDefaultLeaseMargin{15'000'000};
+
+// Wire methods of every lock server flavor (service name "lockd").
+enum LockServerMethod : uint32_t {
+  kLockOpen = 1,      // {table}                      -> {slot, lease_us}
+  kLockClose = 2,     // {slot}                       -> {}
+  kLockRenew = 3,     // {slot}                       -> {lease_us remaining ok}
+  kLockRequest = 4,   // {slot, lock, mode}           -> {} granted (blocks)
+  kLockRelease = 5,   // {slot, lock, new_mode}       -> {}
+  kLockGetAssignment = 6,  // {}                      -> {servers, group map}
+  kLockActivate = 7,  // primary/backup: force takeover (admin/testing)
+  kLockAck = 8,       // {slot, lock}: clerk acknowledges a grant
+};
+
+// Methods of the clerk-side callback service (service name "lockclerk").
+enum LockClerkMethod : uint32_t {
+  kClerkRevoke = 1,         // {lock, new_mode} -> {} after flush+downgrade
+  kClerkRecoverSlot = 2,    // {dead_slot} -> {} after log replay
+  kClerkListHeld = 3,       // {} -> [(lock, mode)] for state reconstruction
+};
+
+inline bool ModesCompatible(LockMode held, LockMode wanted) {
+  return held == LockMode::kShared && wanted == LockMode::kShared;
+}
+
+}  // namespace frangipani
+
+#endif  // SRC_LOCK_TYPES_H_

@@ -1,0 +1,160 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+NodeId Network::AddNode(std::string name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto node = std::make_unique<Node>();
+  node->name = std::move(name);
+  node->params = defaults_;
+  node->nic = std::make_unique<RateLimiter>(defaults_.bandwidth_bps);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size());
+}
+
+void Network::RegisterService(NodeId node, const std::string& service, Service* svc) {
+  std::lock_guard<std::mutex> guard(mu_);
+  FGP_CHECK(node >= 1 && node <= nodes_.size());
+  nodes_[node - 1]->services[service] = svc;
+}
+
+void Network::UnregisterService(NodeId node, const std::string& service) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (node >= 1 && node <= nodes_.size()) {
+    nodes_[node - 1]->services.erase(service);
+  }
+}
+
+std::string Network::NodeName(NodeId node) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (node < 1 || node > nodes_.size()) {
+    return "<invalid>";
+  }
+  return nodes_[node - 1]->name;
+}
+
+bool Network::Reachable(NodeId from, NodeId to) {
+  // Caller holds mu_.
+  if (from < 1 || from > nodes_.size() || to < 1 || to > nodes_.size()) {
+    return false;
+  }
+  Node& src = *nodes_[from - 1];
+  Node& dst = *nodes_[to - 1];
+  if (!src.up || !dst.up || src.isolated || dst.isolated) {
+    return false;
+  }
+  auto key = std::minmax(from, to);
+  if (partitions_.count({key.first, key.second}) > 0) {
+    return false;
+  }
+  if (drop_probability_ > 0 && rng_.Double() < drop_probability_) {
+    return false;
+  }
+  return true;
+}
+
+void Network::Transmit(Node& src, Node& dst, size_t bytes) {
+  // A message occupies the sender's and the receiver's link; the completion
+  // time is the later of the two reservations plus propagation latency.
+  TimePoint t1 = src.nic->Acquire(bytes);
+  TimePoint t2 = dst.nic->Acquire(bytes);
+  TimePoint done = std::max(t1, t2) + std::max(src.params.latency, dst.params.latency);
+  if (done > std::chrono::steady_clock::now()) {
+    std::this_thread::sleep_until(done);
+  }
+}
+
+StatusOr<Bytes> Network::Call(NodeId from, NodeId to, const std::string& service,
+                              uint32_t method, const Bytes& request) {
+  Service* svc = nullptr;
+  Node* src = nullptr;
+  Node* dst = nullptr;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!Reachable(from, to)) {
+      return Unavailable("node " + std::to_string(to) + " unreachable from " +
+                         std::to_string(from));
+    }
+    src = nodes_[from - 1].get();
+    dst = nodes_[to - 1].get();
+    auto it = dst->services.find(service);
+    if (it == dst->services.end()) {
+      return Unavailable("service '" + service + "' not registered at node " +
+                         std::to_string(to));
+    }
+    svc = it->second;
+  }
+
+  constexpr size_t kHeaderBytes = 64;  // envelope overhead per message
+  Transmit(*src, *dst, request.size() + kHeaderBytes);
+
+  StatusOr<Bytes> response = svc->Handle(method, request, from);
+
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    // The reply can also be lost / the target can die mid-call.
+    if (!Reachable(to, from)) {
+      return Unavailable("reply from node " + std::to_string(to) + " lost");
+    }
+  }
+  size_t resp_bytes = response.ok() ? response.value().size() : 0;
+  Transmit(*dst, *src, resp_bytes + kHeaderBytes);
+  return response;
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  std::lock_guard<std::mutex> guard(mu_);
+  FGP_CHECK(node >= 1 && node <= nodes_.size());
+  nodes_[node - 1]->up = up;
+}
+
+bool Network::IsNodeUp(NodeId node) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (node < 1 || node > nodes_.size()) {
+    return false;
+  }
+  return nodes_[node - 1]->up;
+}
+
+void Network::SetPartitioned(NodeId a, NodeId b, bool partitioned) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
+}
+
+void Network::SetIsolated(NodeId node, bool isolated) {
+  std::lock_guard<std::mutex> guard(mu_);
+  FGP_CHECK(node >= 1 && node <= nodes_.size());
+  nodes_[node - 1]->isolated = isolated;
+}
+
+void Network::SetDropProbability(double p) {
+  std::lock_guard<std::mutex> guard(mu_);
+  drop_probability_ = p;
+}
+
+void Network::SetLinkParams(NodeId node, LinkParams params) {
+  std::lock_guard<std::mutex> guard(mu_);
+  FGP_CHECK(node >= 1 && node <= nodes_.size());
+  nodes_[node - 1]->params = params;
+  nodes_[node - 1]->nic->set_rate(params.bandwidth_bps);
+}
+
+uint64_t Network::BytesThrough(NodeId node) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (node < 1 || node > nodes_.size()) {
+    return 0;
+  }
+  return nodes_[node - 1]->nic->total_bytes();
+}
+
+}  // namespace frangipani

@@ -1,0 +1,104 @@
+// In-process message network connecting simulated machines ("nodes").
+//
+// The paper's testbed is a set of workstations with dedicated 155 Mbit/s ATM
+// links to a switch. We model each node as having one NIC (a RateLimiter);
+// a message of S bytes from A to B occupies both NICs for S/bandwidth seconds
+// and additionally suffers a propagation latency. Modeled delays are real
+// sleeps (real-time dilation), so saturation and scaling behavior reproduce
+// in wall-clock measurements.
+//
+// RPCs execute the target service handler on the caller's thread after the
+// request transmission completes; the response is then transmitted back.
+// Failure injection: node down, pairwise partition, full isolation, random
+// message drops. A failed delivery surfaces as kUnavailable, which callers
+// treat like an RPC timeout.
+#ifndef SRC_NET_NETWORK_H_
+#define SRC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/rate_limiter.h"
+#include "src/base/rng.h"
+#include "src/base/serial.h"
+#include "src/base/status.h"
+
+namespace frangipani {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0;
+
+// A service registered at a node. Handlers must be thread-safe: they run on
+// the calling node's thread, concurrently with other callers.
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual StatusOr<Bytes> Handle(uint32_t method, const Bytes& request, NodeId from) = 0;
+};
+
+struct LinkParams {
+  Duration latency{0};       // one-way propagation delay
+  double bandwidth_bps = 0;  // NIC bandwidth in bytes/sec; 0 = unlimited
+};
+
+class Network {
+ public:
+  explicit Network(LinkParams defaults = {}) : defaults_(defaults) {}
+
+  // Adds a machine to the network and returns its id (ids start at 1).
+  NodeId AddNode(std::string name);
+
+  void RegisterService(NodeId node, const std::string& service, Service* svc);
+  void UnregisterService(NodeId node, const std::string& service);
+
+  // Synchronous RPC from `from` to `to`. Applies transmission modeling and
+  // failure injection in both directions.
+  StatusOr<Bytes> Call(NodeId from, NodeId to, const std::string& service, uint32_t method,
+                       const Bytes& request);
+
+  std::string NodeName(NodeId node) const;
+
+  // ---- Failure injection ----
+  void SetNodeUp(NodeId node, bool up);
+  bool IsNodeUp(NodeId node) const;
+  void SetPartitioned(NodeId a, NodeId b, bool partitioned);
+  void SetIsolated(NodeId node, bool isolated);
+  void SetDropProbability(double p);
+
+  void SetLinkParams(NodeId node, LinkParams params);
+
+  // ---- Accounting ----
+  uint64_t BytesThrough(NodeId node) const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool up = true;
+    bool isolated = false;
+    LinkParams params;
+    std::unique_ptr<RateLimiter> nic;
+    std::map<std::string, Service*> services;
+  };
+
+  // Returns false if delivery between the two nodes is impossible right now.
+  bool Reachable(NodeId from, NodeId to);
+  // Models occupancy of both NICs plus propagation; sleeps the caller.
+  void Transmit(Node& src, Node& dst, size_t bytes);
+
+  mutable std::mutex mu_;
+  LinkParams defaults_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  double drop_probability_ = 0;
+  Rng rng_{0xF00DF00Dull};
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_NET_NETWORK_H_

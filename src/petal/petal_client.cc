@@ -1,0 +1,220 @@
+#include "src/petal/petal_client.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/petal/petal_server.h"
+
+namespace frangipani {
+
+PetalClient::PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers)
+    : net_(net), self_(self), bootstrap_(std::move(bootstrap_servers)) {}
+
+Status PetalClient::RefreshMap() {
+  for (NodeId server : bootstrap_) {
+    StatusOr<Bytes> reply =
+        net_->Call(self_, server, PetalServer::kServiceName, PetalServer::kGetMap, Bytes{});
+    if (!reply.ok()) {
+      continue;
+    }
+    Decoder dec(reply.value());
+    PetalGlobalMap map = PetalGlobalMap::Decode(dec);
+    if (!dec.ok()) {
+      continue;
+    }
+    std::lock_guard<std::mutex> guard(mu_);
+    if (!have_map_ || map.epoch >= map_.epoch) {
+      map_ = std::move(map);
+      have_map_ = true;
+    }
+    return OkStatus();
+  }
+  return Unavailable("no petal server reachable for map refresh");
+}
+
+PetalGlobalMap PetalClient::MapSnapshot() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return map_;
+}
+
+StatusOr<Bytes> PetalClient::ChunkCall(uint64_t chunk_index, uint32_t method,
+                                       const Bytes& request) {
+  constexpr int kAttempts = 3;
+  Status last = Unavailable("no attempt made");
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    Replicas place;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (!have_map_) {
+        last = Unavailable("no map");
+      } else {
+        place = PlaceChunk(map_, chunk_index);
+      }
+    }
+    if (place.primary == kInvalidNode) {
+      RETURN_IF_ERROR(RefreshMap());
+      continue;
+    }
+    for (NodeId server : {place.primary, place.secondary}) {
+      if (server == kInvalidNode) {
+        continue;
+      }
+      StatusOr<Bytes> reply = net_->Call(self_, server, PetalServer::kServiceName, method, request);
+      if (reply.ok()) {
+        return reply;
+      }
+      last = reply.status();
+      if (last.code() == StatusCode::kPermissionDenied ||
+          last.code() == StatusCode::kInvalidArgument) {
+        return last;  // fenced write / malformed: do not fail over
+      }
+      if (server == place.secondary || place.secondary == place.primary) {
+        break;
+      }
+      // kUnavailable or kFailedPrecondition: try the other replica.
+    }
+    // Both replicas failed: our map may be stale.
+    Status refresh = RefreshMap();
+    if (!refresh.ok()) {
+      return last;
+    }
+  }
+  return last;
+}
+
+StatusOr<Bytes> PetalClient::AnyCall(uint32_t method, const Bytes& request) {
+  Status last = Unavailable("no petal server reachable");
+  for (NodeId server : bootstrap_) {
+    StatusOr<Bytes> reply = net_->Call(self_, server, PetalServer::kServiceName, method, request);
+    if (reply.ok()) {
+      return reply;
+    }
+    last = reply.status();
+    if (last.code() != StatusCode::kUnavailable) {
+      return last;
+    }
+  }
+  return last;
+}
+
+Status PetalClient::Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes* out) {
+  out->clear();
+  out->reserve(length);
+  uint64_t pos = offset;
+  uint64_t end = offset + length;
+  while (pos < end) {
+    uint64_t index = ChunkIndexOf(pos);
+    uint64_t chunk_end = ChunkBase(index) + kChunkSize;
+    uint32_t n = static_cast<uint32_t>(std::min(end, chunk_end) - pos);
+    Encoder enc;
+    enc.PutU32(vdisk);
+    enc.PutU64(pos);
+    enc.PutU32(n);
+    ASSIGN_OR_RETURN(Bytes piece, ChunkCall(index, PetalServer::kRead, enc.buffer()));
+    if (piece.size() != n) {
+      return IoError("short read from petal");
+    }
+    out->insert(out->end(), piece.begin(), piece.end());
+    pos += n;
+  }
+  return OkStatus();
+}
+
+Status PetalClient::Write(VdiskId vdisk, uint64_t offset, const Bytes& data,
+                          int64_t lease_expiry_us) {
+  uint64_t pos = offset;
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    uint64_t index = ChunkIndexOf(pos);
+    uint64_t chunk_end = ChunkBase(index) + kChunkSize;
+    uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(data.size() - consumed, chunk_end - pos));
+    Encoder enc;
+    enc.PutU32(vdisk);
+    enc.PutU64(pos);
+    enc.PutI64(lease_expiry_us);
+    Bytes piece(data.begin() + consumed, data.begin() + consumed + n);
+    enc.PutBytes(piece);
+    StatusOr<Bytes> reply = ChunkCall(index, PetalServer::kWrite, enc.buffer());
+    if (!reply.ok()) {
+      return reply.status();
+    }
+    pos += n;
+    consumed += n;
+  }
+  return OkStatus();
+}
+
+Status PetalClient::Decommit(VdiskId vdisk, uint64_t offset, uint64_t length) {
+  if ((offset & kChunkMask) != 0 || (length & kChunkMask) != 0) {
+    return InvalidArgument("decommit range must be chunk aligned");
+  }
+  for (uint64_t index = ChunkIndexOf(offset); index < ChunkIndexOf(offset + length); ++index) {
+    // Decommit must reach both replicas; send to each directly.
+    Replicas place;
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      place = PlaceChunk(map_, index);
+    }
+    Encoder enc;
+    enc.PutU32(vdisk);
+    enc.PutU64(index);
+    for (NodeId server : {place.primary, place.secondary}) {
+      if (server == kInvalidNode) {
+        continue;
+      }
+      (void)net_->Call(self_, server, PetalServer::kServiceName, PetalServer::kDecommit,
+                       enc.buffer());
+      if (place.secondary == place.primary) {
+        break;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+StatusOr<VdiskId> PetalClient::CreateVdisk() {
+  ASSIGN_OR_RETURN(Bytes reply, AnyCall(PetalServer::kCreateVdisk, Bytes{}));
+  Decoder dec(reply);
+  VdiskId id = dec.GetU32();
+  if (!dec.ok() || id == kInvalidVdisk) {
+    return Internal("bad create-vdisk reply");
+  }
+  RETURN_IF_ERROR(RefreshMap());
+  return id;
+}
+
+StatusOr<VdiskId> PetalClient::Snapshot(VdiskId src) {
+  Encoder enc;
+  enc.PutU32(src);
+  ASSIGN_OR_RETURN(Bytes reply, AnyCall(PetalServer::kSnapshotVdisk, enc.buffer()));
+  Decoder dec(reply);
+  VdiskId id = dec.GetU32();
+  if (!dec.ok() || id == kInvalidVdisk) {
+    return Internal("bad snapshot reply");
+  }
+  RETURN_IF_ERROR(RefreshMap());
+  return id;
+}
+
+StatusOr<VdiskId> PetalClient::Clone(VdiskId src) {
+  Encoder enc;
+  enc.PutU32(src);
+  ASSIGN_OR_RETURN(Bytes reply, AnyCall(PetalServer::kCloneVdisk, enc.buffer()));
+  Decoder dec(reply);
+  VdiskId id = dec.GetU32();
+  if (!dec.ok() || id == kInvalidVdisk) {
+    return Internal("bad clone reply");
+  }
+  RETURN_IF_ERROR(RefreshMap());
+  return id;
+}
+
+Status PetalClient::DeleteVdisk(VdiskId id) {
+  Encoder enc;
+  enc.PutU32(id);
+  RETURN_IF_ERROR(AnyCall(PetalServer::kDeleteVdisk, enc.buffer()).status());
+  return RefreshMap();
+}
+
+}  // namespace frangipani

@@ -1,0 +1,64 @@
+// The Petal "device driver" (§2.1): hides the distributed nature of Petal and
+// makes the virtual disk look like an ordinary local disk. Responsible for
+// locating the correct Petal server for each chunk and failing over to the
+// other replica when one is unreachable.
+#ifndef SRC_PETAL_PETAL_CLIENT_H_
+#define SRC_PETAL_PETAL_CLIENT_H_
+
+#include <mutex>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/net/network.h"
+#include "src/petal/global_map.h"
+#include "src/petal/types.h"
+
+namespace frangipani {
+
+// Thread-safe; one instance per client machine.
+class PetalClient {
+ public:
+  PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers);
+
+  // Reads `length` bytes at `offset` (may span chunks). Uncommitted ranges
+  // read as zeros.
+  Status Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes* out);
+
+  // Writes `data` at `offset` (may span chunks). If lease_expiry_us != 0 the
+  // write is fenced: Petal rejects it once the lease has expired (§6 hazard
+  // fix). The value is microseconds on the shared steady clock.
+  Status Write(VdiskId vdisk, uint64_t offset, const Bytes& data, int64_t lease_expiry_us = 0);
+
+  // Frees physical storage backing [offset, offset+length); both bounds must
+  // be chunk-aligned.
+  Status Decommit(VdiskId vdisk, uint64_t offset, uint64_t length);
+
+  StatusOr<VdiskId> CreateVdisk();
+  StatusOr<VdiskId> Snapshot(VdiskId src);   // read-only snapshot (§8)
+  StatusOr<VdiskId> Clone(VdiskId src);      // writable COW copy (restore)
+  Status DeleteVdisk(VdiskId id);
+
+  Status RefreshMap();
+  PetalGlobalMap MapSnapshot() const;
+
+  NodeId node() const { return self_; }
+
+ private:
+  // Runs `method` against a replica of `chunk_index`, failing over and
+  // refreshing the map as needed.
+  StatusOr<Bytes> ChunkCall(uint64_t chunk_index, uint32_t method, const Bytes& request);
+  // Runs an admin call against any reachable server.
+  StatusOr<Bytes> AnyCall(uint32_t method, const Bytes& request);
+
+  Network* net_;
+  NodeId self_;
+  std::vector<NodeId> bootstrap_;
+
+  mutable std::mutex mu_;
+  PetalGlobalMap map_;
+  bool have_map_ = false;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_PETAL_PETAL_CLIENT_H_

@@ -1,0 +1,629 @@
+#include "src/petal/petal_server.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+
+namespace frangipani {
+
+PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_group,
+                         std::vector<NodeId> initial_active, PetalServerDurable* durable,
+                         PetalServerOptions options, Clock* clock)
+    : net_(net),
+      self_(self),
+      durable_(durable),
+      options_(options),
+      clock_(clock),
+      ready_(options.initially_ready) {
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    if (durable_->disks.empty()) {
+      for (int i = 0; i < options_.num_disks; ++i) {
+        durable_->disks.push_back(std::make_unique<PhysDisk>(options_.disk));
+      }
+    }
+  }
+  map_.servers = std::move(initial_active);
+  paxos_ = std::make_unique<PaxosPeer>(
+      net_, self_, std::move(paxos_group), &durable_->paxos,
+      [this](uint64_t index, const Bytes& cmd) { OnApply(index, cmd); });
+  net_->RegisterService(self_, kServiceName, this);
+  // Replay any commands already decided before this (re)start.
+  paxos_->CatchUp();
+}
+
+PetalServer::~PetalServer() {
+  net_->UnregisterService(self_, kServiceName);
+  net_->UnregisterService(self_, PaxosPeer::kServiceName);
+}
+
+void PetalServer::OnApply(uint64_t index, const Bytes& raw_cmd) {
+  StatusOr<PetalCommand> cmd = PetalCommand::Decode(raw_cmd);
+  if (!cmd.ok()) {
+    FLOG(ERROR) << "petal: dropping malformed command at " << index;
+    return;
+  }
+  std::lock_guard<std::mutex> map_guard(map_mu_);
+  VdiskId result = ApplyPetalCommand(map_, *cmd);
+  if ((cmd->kind == PetalCommandKind::kSnapshotVdisk ||
+       cmd->kind == PetalCommandKind::kCloneVdisk) &&
+      result != kInvalidVdisk) {
+    // COW: the snapshot shares every blob the source currently has here.
+    std::lock_guard<std::mutex> store_guard(durable_->mu);
+    std::vector<std::pair<ChunkKey, uint64_t>> to_copy;
+    for (const auto& [key, handle] : durable_->chunks) {
+      if (key.vdisk == cmd->vdisk) {
+        to_copy.emplace_back(ChunkKey{result, key.index}, handle);
+      }
+    }
+    for (const auto& [key, handle] : to_copy) {
+      durable_->chunks[key] = handle;
+      durable_->blobs[handle].refs++;
+    }
+  }
+  if (cmd->kind == PetalCommandKind::kDeleteVdisk) {
+    std::lock_guard<std::mutex> store_guard(durable_->mu);
+    std::vector<ChunkKey> to_drop;
+    for (const auto& [key, handle] : durable_->chunks) {
+      if (key.vdisk == cmd->vdisk) {
+        to_drop.push_back(key);
+      }
+    }
+    for (const ChunkKey& key : to_drop) {
+      DropChunkLocked(key);
+    }
+  }
+  if (cmd->nonce != 0) {
+    nonce_results_[cmd->nonce] = result;
+    map_cv_.notify_all();
+  }
+}
+
+StatusOr<VdiskId> PetalServer::ProposeVdiskCommand(PetalCommand cmd) {
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    cmd.nonce = (static_cast<uint64_t>(self_) << 40) | next_nonce_++;
+  }
+  StatusOr<uint64_t> idx = paxos_->Propose(cmd.Encode());
+  if (!idx.ok()) {
+    return idx.status();
+  }
+  std::unique_lock<std::mutex> lk(map_mu_);
+  bool done = map_cv_.wait_for(lk, std::chrono::seconds(10), [&] {
+    return nonce_results_.count(cmd.nonce) > 0;
+  });
+  if (!done) {
+    return DeadlineExceeded("petal command applied but result not observed");
+  }
+  VdiskId id = nonce_results_[cmd.nonce];
+  if (id == kInvalidVdisk) {
+    return NotFound("vdisk command failed (bad source vdisk?)");
+  }
+  return id;
+}
+
+Status PetalServer::ProposeAddServer(NodeId server) {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kAddServer;
+  cmd.server = server;
+  return paxos_->Propose(cmd.Encode()).status();
+}
+
+Status PetalServer::ProposeRemoveServer(NodeId server) {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kRemoveServer;
+  cmd.server = server;
+  return paxos_->Propose(cmd.Encode()).status();
+}
+
+StatusOr<VdiskId> PetalServer::CreateVdisk() {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kCreateVdisk;
+  return ProposeVdiskCommand(cmd);
+}
+
+StatusOr<VdiskId> PetalServer::SnapshotVdisk(VdiskId src) {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kSnapshotVdisk;
+  cmd.vdisk = src;
+  return ProposeVdiskCommand(cmd);
+}
+
+StatusOr<VdiskId> PetalServer::CloneVdisk(VdiskId src) {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kCloneVdisk;
+  cmd.vdisk = src;
+  return ProposeVdiskCommand(cmd);
+}
+
+Status PetalServer::DeleteVdisk(VdiskId id) {
+  PetalCommand cmd;
+  cmd.kind = PetalCommandKind::kDeleteVdisk;
+  cmd.vdisk = id;
+  return paxos_->Propose(cmd.Encode()).status();
+}
+
+void PetalServer::SetReady(bool ready) { ready_.store(ready); }
+
+PetalGlobalMap PetalServer::MapSnapshot() const {
+  std::lock_guard<std::mutex> guard(map_mu_);
+  return map_;
+}
+
+uint64_t PetalServer::chunk_count() const {
+  std::lock_guard<std::mutex> guard(durable_->mu);
+  return durable_->chunks.size();
+}
+
+PhysDisk& PetalServer::DiskFor(uint64_t chunk_index) {
+  return *durable_->disks[chunk_index % durable_->disks.size()];
+}
+
+BlobMeta* PetalServer::FindChunkLocked(const ChunkKey& key) {
+  auto it = durable_->chunks.find(key);
+  if (it == durable_->chunks.end()) {
+    return nullptr;
+  }
+  return &durable_->blobs[it->second];
+}
+
+uint64_t PetalServer::ApplyWriteLocked(const ChunkKey& key, uint32_t offset_in_chunk,
+                                       const Bytes& data, uint64_t forced_version) {
+  auto it = durable_->chunks.find(key);
+  uint64_t handle;
+  if (it == durable_->chunks.end()) {
+    handle = durable_->next_handle++;
+    BlobMeta& blob = durable_->blobs[handle];
+    blob.refs = 1;
+    blob.data.assign(kChunkSize, 0);
+    durable_->chunks[key] = handle;
+  } else {
+    handle = it->second;
+    BlobMeta& blob = durable_->blobs[handle];
+    if (blob.refs > 1) {
+      // Copy-on-write: the blob is shared with a snapshot.
+      uint64_t fresh = durable_->next_handle++;
+      BlobMeta& copy = durable_->blobs[fresh];
+      copy.refs = 1;
+      copy.version = durable_->blobs[handle].version;
+      copy.data = durable_->blobs[handle].data;
+      durable_->blobs[handle].refs--;
+      durable_->chunks[key] = fresh;
+      handle = fresh;
+    }
+  }
+  BlobMeta& blob = durable_->blobs[handle];
+  FGP_CHECK(offset_in_chunk + data.size() <= kChunkSize);
+  std::copy(data.begin(), data.end(), blob.data.begin() + offset_in_chunk);
+  blob.version = forced_version != 0 ? forced_version : blob.version + 1;
+  return blob.version;
+}
+
+void PetalServer::DropChunkLocked(const ChunkKey& key) {
+  auto it = durable_->chunks.find(key);
+  if (it == durable_->chunks.end()) {
+    return;
+  }
+  uint64_t handle = it->second;
+  durable_->chunks.erase(it);
+  BlobMeta& blob = durable_->blobs[handle];
+  if (--blob.refs == 0) {
+    durable_->blobs.erase(handle);
+  }
+}
+
+void PetalServer::ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
+                                uint64_t version) {
+  Replicas place;
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    place = PlaceChunk(map_, key.index);
+  }
+  NodeId peer = place.primary == self_ ? place.secondary : place.primary;
+  if (peer == self_ || peer == kInvalidNode || !place.Contains(self_)) {
+    return;
+  }
+  Encoder enc;
+  enc.PutU32(key.vdisk);
+  enc.PutU64(key.index);
+  enc.PutU32(offset_in_chunk);
+  enc.PutU64(version);
+  enc.PutBytes(data);
+  StatusOr<Bytes> reply = net_->Call(self_, peer, kServiceName, kReplicaWrite, enc.buffer());
+  if (!reply.ok()) {
+    // Peer down or partitioned: degraded mode. The peer resyncs on restart.
+    return;
+  }
+  Decoder dec(reply.value());
+  if (dec.GetU8() == 2) {
+    // Peer needs the full chunk (it missed earlier deltas).
+    Bytes full;
+    uint64_t full_version = 0;
+    {
+      std::lock_guard<std::mutex> guard(durable_->mu);
+      BlobMeta* blob = FindChunkLocked(key);
+      if (blob == nullptr) {
+        return;
+      }
+      full = blob->data;
+      full_version = blob->version;
+    }
+    Encoder push;
+    push.PutU32(key.vdisk);
+    push.PutU64(key.index);
+    push.PutU64(full_version);
+    push.PutBytes(full);
+    (void)net_->Call(self_, peer, kServiceName, kPushChunk, push.buffer());
+  }
+}
+
+StatusOr<Bytes> PetalServer::Handle(uint32_t method, const Bytes& request, NodeId from) {
+  Decoder dec(request);
+  switch (method) {
+    case kRead:
+      return DoRead(dec);
+    case kWrite:
+      return DoWrite(dec);
+    case kReplicaWrite:
+      return DoReplicaWrite(dec);
+    case kPushChunk:
+      return DoPushChunk(dec);
+    case kPullChunk:
+      return DoPullChunk(dec);
+    case kDecommit:
+      return DoDecommit(dec);
+    case kGetMap:
+      return DoGetMap();
+    case kCreateVdisk: {
+      StatusOr<VdiskId> id = CreateVdisk();
+      if (!id.ok()) {
+        return id.status();
+      }
+      Encoder enc;
+      enc.PutU32(*id);
+      return enc.Take();
+    }
+    case kSnapshotVdisk:
+    case kCloneVdisk: {
+      VdiskId src = dec.GetU32();
+      if (!dec.ok()) {
+        return InvalidArgument("bad snapshot/clone request");
+      }
+      StatusOr<VdiskId> id =
+          method == kSnapshotVdisk ? SnapshotVdisk(src) : CloneVdisk(src);
+      if (!id.ok()) {
+        return id.status();
+      }
+      Encoder enc;
+      enc.PutU32(*id);
+      return enc.Take();
+    }
+    case kDeleteVdisk: {
+      VdiskId id = dec.GetU32();
+      RETURN_IF_ERROR(DeleteVdisk(id));
+      return Bytes{};
+    }
+    case kListChunksFor:
+      return DoListChunksFor(dec);
+    default:
+      return InvalidArgument("unknown petal method");
+  }
+}
+
+StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t offset = dec.GetU64();
+  uint32_t length = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("bad read request");
+  }
+  if (!ready_.load()) {
+    return Unavailable("petal server resyncing");
+  }
+  uint64_t index = ChunkIndexOf(offset);
+  if (ChunkIndexOf(offset + length - 1) != index) {
+    return InvalidArgument("read spans chunks");
+  }
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    if (map_.vdisks.count(vdisk) == 0) {
+      return Status(StatusCode::kFailedPrecondition, "unknown vdisk");
+    }
+    if (!PlaceChunk(map_, index).Contains(self_)) {
+      return Status(StatusCode::kFailedPrecondition, "not a replica for this chunk");
+    }
+  }
+  uint32_t off_in_chunk = static_cast<uint32_t>(offset & kChunkMask);
+  Bytes out;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    if (blob != nullptr) {
+      found = true;
+      out.assign(blob->data.begin() + off_in_chunk, blob->data.begin() + off_in_chunk + length);
+    }
+  }
+  if (!found) {
+    // Sparse virtual disk: uncommitted ranges read as zeros, at no disk cost.
+    out.assign(length, 0);
+    return out;
+  }
+  DiskFor(index).ChargeRead(offset, length);
+  return out;
+}
+
+StatusOr<Bytes> PetalServer::DoWrite(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t offset = dec.GetU64();
+  int64_t lease_expiry_us = dec.GetI64();
+  Bytes data = dec.GetBytes();
+  if (!dec.ok() || data.empty()) {
+    return InvalidArgument("bad write request");
+  }
+  if (!ready_.load()) {
+    return Unavailable("petal server resyncing");
+  }
+  // §6 hazard fix: reject writes whose issuing lease has already expired.
+  if (lease_expiry_us != 0) {
+    int64_t now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                         clock_->Now().time_since_epoch())
+                         .count();
+    if (now_us > lease_expiry_us) {
+      return PermissionDenied("write fenced: lease expired");
+    }
+  }
+  uint64_t index = ChunkIndexOf(offset);
+  if (ChunkIndexOf(offset + data.size() - 1) != index) {
+    return InvalidArgument("write spans chunks");
+  }
+  {
+    std::lock_guard<std::mutex> guard(map_mu_);
+    auto it = map_.vdisks.find(vdisk);
+    if (it == map_.vdisks.end()) {
+      return Status(StatusCode::kFailedPrecondition, "unknown vdisk");
+    }
+    if (it->second.read_only) {
+      return PermissionDenied("vdisk is a read-only snapshot");
+    }
+    if (!PlaceChunk(map_, index).Contains(self_)) {
+      return Status(StatusCode::kFailedPrecondition, "not a replica for this chunk");
+    }
+  }
+  uint32_t off_in_chunk = static_cast<uint32_t>(offset & kChunkMask);
+  DiskFor(index).ChargeWrite(offset, data.size());
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    version = ApplyWriteLocked({vdisk, index}, off_in_chunk, data, 0);
+  }
+  ForwardToPeer({vdisk, index}, off_in_chunk, data, version);
+  return Bytes{};
+}
+
+StatusOr<Bytes> PetalServer::DoReplicaWrite(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t index = dec.GetU64();
+  uint32_t off_in_chunk = dec.GetU32();
+  uint64_t version = dec.GetU64();
+  Bytes data = dec.GetBytes();
+  if (!dec.ok()) {
+    return InvalidArgument("bad replica write");
+  }
+  Encoder enc;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    uint64_t local_version = blob != nullptr ? blob->version : 0;
+    if (version == local_version + 1) {
+      ApplyWriteLocked({vdisk, index}, off_in_chunk, data, version);
+      enc.PutU8(1);  // applied
+    } else if (version <= local_version) {
+      enc.PutU8(1);  // stale duplicate; already have newer
+    } else {
+      enc.PutU8(2);  // gap: need the full chunk
+    }
+  }
+  DiskFor(index).ChargeWrite(ChunkBase(index) + off_in_chunk, data.size());
+  return enc.Take();
+}
+
+StatusOr<Bytes> PetalServer::DoPushChunk(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t index = dec.GetU64();
+  uint64_t version = dec.GetU64();
+  Bytes data = dec.GetBytes();
+  if (!dec.ok() || data.size() != kChunkSize) {
+    return InvalidArgument("bad push chunk");
+  }
+  bool applied = false;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    uint64_t local_version = blob != nullptr ? blob->version : 0;
+    if (version > local_version) {
+      ApplyWriteLocked({vdisk, index}, 0, data, version);
+      applied = true;
+    }
+  }
+  if (applied) {
+    DiskFor(index).ChargeWrite(ChunkBase(index), data.size());
+  }
+  return Bytes{};
+}
+
+StatusOr<Bytes> PetalServer::DoPullChunk(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t index = dec.GetU64();
+  if (!dec.ok()) {
+    return InvalidArgument("bad pull chunk");
+  }
+  Encoder enc;
+  Bytes data;
+  uint64_t version = 0;
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    if (blob != nullptr) {
+      found = true;
+      version = blob->version;
+      data = blob->data;
+    }
+  }
+  if (found) {
+    DiskFor(index).ChargeRead(ChunkBase(index), data.size());
+  }
+  enc.PutBool(found);
+  enc.PutU64(version);
+  enc.PutBytes(data);
+  return enc.Take();
+}
+
+StatusOr<Bytes> PetalServer::DoDecommit(Decoder& dec) {
+  VdiskId vdisk = dec.GetU32();
+  uint64_t index = dec.GetU64();
+  if (!dec.ok()) {
+    return InvalidArgument("bad decommit");
+  }
+  std::lock_guard<std::mutex> guard(durable_->mu);
+  DropChunkLocked({vdisk, index});
+  return Bytes{};
+}
+
+StatusOr<Bytes> PetalServer::DoGetMap() {
+  Encoder enc;
+  std::lock_guard<std::mutex> guard(map_mu_);
+  map_.Encode(enc);
+  return enc.Take();
+}
+
+StatusOr<Bytes> PetalServer::DoListChunksFor(Decoder& dec) {
+  NodeId target = dec.GetU32();
+  if (!dec.ok()) {
+    return InvalidArgument("bad list request");
+  }
+  PetalGlobalMap map = MapSnapshot();
+  Encoder enc;
+  std::lock_guard<std::mutex> guard(durable_->mu);
+  std::vector<std::pair<ChunkKey, uint64_t>> hits;
+  for (const auto& [key, handle] : durable_->chunks) {
+    if (PlaceChunk(map, key.index).Contains(target)) {
+      hits.emplace_back(key, durable_->blobs[handle].version);
+    }
+  }
+  enc.PutU32(static_cast<uint32_t>(hits.size()));
+  for (const auto& [key, version] : hits) {
+    enc.PutU32(key.vdisk);
+    enc.PutU64(key.index);
+    enc.PutU64(version);
+  }
+  return enc.Take();
+}
+
+Status PetalServer::Rebalance() {
+  paxos_->CatchUp();
+  PetalGlobalMap map = MapSnapshot();
+  std::vector<ChunkKey> keys;
+  {
+    std::lock_guard<std::mutex> guard(durable_->mu);
+    keys.reserve(durable_->chunks.size());
+    for (const auto& [key, handle] : durable_->chunks) {
+      keys.push_back(key);
+    }
+  }
+  for (const ChunkKey& key : keys) {
+    Replicas place = PlaceChunk(map, key.index);
+    Bytes data;
+    uint64_t version = 0;
+    {
+      std::lock_guard<std::mutex> guard(durable_->mu);
+      BlobMeta* blob = FindChunkLocked(key);
+      if (blob == nullptr) {
+        continue;
+      }
+      data = blob->data;
+      version = blob->version;
+    }
+    bool pushed_all = true;
+    for (NodeId peer : {place.primary, place.secondary}) {
+      if (peer == self_ || peer == kInvalidNode) {
+        continue;
+      }
+      Encoder push;
+      push.PutU32(key.vdisk);
+      push.PutU64(key.index);
+      push.PutU64(version);
+      push.PutBytes(data);
+      StatusOr<Bytes> r = net_->Call(self_, peer, kServiceName, kPushChunk, push.buffer());
+      if (!r.ok()) {
+        pushed_all = false;
+      }
+    }
+    if (!place.Contains(self_) && pushed_all) {
+      std::lock_guard<std::mutex> guard(durable_->mu);
+      DropChunkLocked(key);
+    }
+  }
+  return OkStatus();
+}
+
+Status PetalServer::ResyncFromPeers() {
+  paxos_->CatchUp();
+  PetalGlobalMap map = MapSnapshot();
+  for (NodeId peer : map.servers) {
+    if (peer == self_) {
+      continue;
+    }
+    Encoder req;
+    req.PutU32(self_);
+    StatusOr<Bytes> reply = net_->Call(self_, peer, kServiceName, kListChunksFor, req.buffer());
+    if (!reply.ok()) {
+      continue;
+    }
+    Decoder dec(reply.value());
+    uint32_t count = dec.GetU32();
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      ChunkKey key;
+      key.vdisk = dec.GetU32();
+      key.index = dec.GetU64();
+      uint64_t peer_version = dec.GetU64();
+      uint64_t local_version = 0;
+      {
+        std::lock_guard<std::mutex> guard(durable_->mu);
+        BlobMeta* blob = FindChunkLocked(key);
+        local_version = blob != nullptr ? blob->version : 0;
+      }
+      if (peer_version <= local_version) {
+        continue;
+      }
+      Encoder pull;
+      pull.PutU32(key.vdisk);
+      pull.PutU64(key.index);
+      StatusOr<Bytes> chunk =
+          net_->Call(self_, peer, kServiceName, kPullChunk, pull.buffer());
+      if (!chunk.ok()) {
+        continue;
+      }
+      Decoder cdec(chunk.value());
+      bool found = cdec.GetBool();
+      uint64_t version = cdec.GetU64();
+      Bytes data = cdec.GetBytes();
+      if (!cdec.ok() || !found || data.size() != kChunkSize) {
+        continue;
+      }
+      {
+        std::lock_guard<std::mutex> guard(durable_->mu);
+        BlobMeta* blob = FindChunkLocked(key);
+        if (blob == nullptr || blob->version < version) {
+          ApplyWriteLocked(key, 0, data, version);
+        }
+      }
+      DiskFor(key.index).ChargeWrite(ChunkBase(key.index), data.size());
+    }
+  }
+  ready_.store(true);
+  return OkStatus();
+}
+
+}  // namespace frangipani

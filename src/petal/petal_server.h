@@ -1,0 +1,152 @@
+// One Petal storage server. Serves 64 KB chunk reads/writes for sparse
+// virtual disks, replicates writes to the chunk's secondary, participates in
+// the Paxos group that maintains the global map (membership + virtual-disk
+// directory), supports copy-on-write snapshots (§8), resynchronization after
+// restart, and data redistribution after membership changes (§7).
+//
+// Durable state (the "disks" and Paxos promises) lives in an externally owned
+// PetalServerDurable, so the harness can crash a server (destroy the runtime
+// object, mark the node down) and later restart it against the same disks.
+//
+// Simplifications vs. the original Petal (documented in DESIGN.md):
+//  - membership changes are admin-driven (harness proposes add/remove);
+//    failure handling between changes is client-side replica failover,
+//  - data redistribution is an explicit Rebalance() pass rather than a
+//    background transfer,
+//  - no server-side block cache.
+#ifndef SRC_PETAL_PETAL_SERVER_H_
+#define SRC_PETAL_PETAL_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/net/network.h"
+#include "src/paxos/paxos.h"
+#include "src/petal/global_map.h"
+#include "src/petal/phys_disk.h"
+#include "src/petal/types.h"
+
+namespace frangipani {
+
+struct PetalServerOptions {
+  int num_disks = 9;          // paper: 9 RZ29 drives per server
+  PhysDiskParams disk;
+  bool initially_ready = true;  // false: hold client I/O until ResyncFromPeers
+};
+
+struct BlobMeta {
+  uint32_t refs = 0;      // how many (vdisk, chunk) slots point at this blob
+  uint64_t version = 0;   // monotonically increasing per logical chunk write
+  Bytes data;             // kChunkSize bytes
+};
+
+// The durable half of a Petal server: contents survive a simulated crash.
+struct PetalServerDurable {
+  PaxosDurableState paxos;
+  std::mutex mu;
+  std::unordered_map<uint64_t, BlobMeta> blobs;
+  std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> chunks;  // -> blob handle
+  uint64_t next_handle = 1;
+  std::vector<std::unique_ptr<PhysDisk>> disks;
+};
+
+class PetalServer : public Service {
+ public:
+  enum Method : uint32_t {
+    kRead = 1,
+    kWrite = 2,
+    kReplicaWrite = 3,
+    kPushChunk = 4,
+    kPullChunk = 5,
+    kDecommit = 6,
+    kGetMap = 7,
+    kCreateVdisk = 8,
+    kSnapshotVdisk = 9,
+    kDeleteVdisk = 10,
+    kListChunksFor = 11,
+    kCloneVdisk = 12,
+  };
+
+  static constexpr const char* kServiceName = "petal";
+
+  // `initial_active` must be identical for every server of the installation:
+  // it seeds the epoch-0 global map that Paxos commands then evolve.
+  PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_group,
+              std::vector<NodeId> initial_active, PetalServerDurable* durable,
+              PetalServerOptions options, Clock* clock);
+  ~PetalServer() override;
+
+  StatusOr<Bytes> Handle(uint32_t method, const Bytes& request, NodeId from) override;
+
+  // ---- Administration (called by the harness / any server) ----
+  Status ProposeAddServer(NodeId server);
+  Status ProposeRemoveServer(NodeId server);
+  StatusOr<VdiskId> CreateVdisk();
+  StatusOr<VdiskId> SnapshotVdisk(VdiskId src);
+  StatusOr<VdiskId> CloneVdisk(VdiskId src);
+  Status DeleteVdisk(VdiskId id);
+
+  // Pushes every locally held chunk to its current replicas and drops chunks
+  // this server no longer hosts. Run on every server after membership change.
+  Status Rebalance();
+
+  // Pulls chunks this server should hold but has stale/missing, then marks
+  // the server ready. Run after a restart, before taking client traffic.
+  Status ResyncFromPeers();
+
+  void SetReady(bool ready);
+  PetalGlobalMap MapSnapshot() const;
+  PaxosPeer* paxos() { return paxos_.get(); }
+
+  uint64_t chunk_count() const;
+
+ private:
+  void OnApply(uint64_t index, const Bytes& raw_cmd);
+  StatusOr<VdiskId> ProposeVdiskCommand(PetalCommand cmd);
+
+  // Request handlers.
+  StatusOr<Bytes> DoRead(Decoder& dec);
+  StatusOr<Bytes> DoWrite(Decoder& dec);
+  StatusOr<Bytes> DoReplicaWrite(Decoder& dec);
+  StatusOr<Bytes> DoPushChunk(Decoder& dec);
+  StatusOr<Bytes> DoPullChunk(Decoder& dec);
+  StatusOr<Bytes> DoDecommit(Decoder& dec);
+  StatusOr<Bytes> DoGetMap();
+  StatusOr<Bytes> DoListChunksFor(Decoder& dec);
+
+  // Store helpers. Caller must hold durable_->mu.
+  BlobMeta* FindChunkLocked(const ChunkKey& key);
+  // Applies a byte-range write; allocates/COWs the blob as needed. Returns
+  // the resulting version.
+  uint64_t ApplyWriteLocked(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
+                            uint64_t forced_version);
+  void DropChunkLocked(const ChunkKey& key);
+
+  PhysDisk& DiskFor(uint64_t chunk_index);
+  void ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
+                     uint64_t version);
+
+  Network* net_;
+  NodeId self_;
+  PetalServerDurable* durable_;
+  PetalServerOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex map_mu_;
+  std::condition_variable map_cv_;
+  PetalGlobalMap map_;
+  std::unordered_map<uint64_t, VdiskId> nonce_results_;
+  uint64_t next_nonce_ = 1;
+
+  std::atomic<bool> ready_;
+
+  std::unique_ptr<PaxosPeer> paxos_;
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_PETAL_PETAL_SERVER_H_

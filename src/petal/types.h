@@ -1,0 +1,42 @@
+// Petal vocabulary types. A Petal virtual disk exposes a sparse 2^64-byte
+// address space; physical storage is committed in 64 KB chunks on first
+// write and can be decommitted (paper §3).
+#ifndef SRC_PETAL_TYPES_H_
+#define SRC_PETAL_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace frangipani {
+
+using VdiskId = uint32_t;
+inline constexpr VdiskId kInvalidVdisk = 0;
+
+inline constexpr uint64_t kChunkShift = 16;
+inline constexpr uint64_t kChunkSize = 1ull << kChunkShift;  // 64 KB
+inline constexpr uint64_t kChunkMask = kChunkSize - 1;
+
+inline constexpr uint64_t ChunkIndexOf(uint64_t addr) { return addr >> kChunkShift; }
+inline constexpr uint64_t ChunkBase(uint64_t index) { return index << kChunkShift; }
+
+struct ChunkKey {
+  VdiskId vdisk = kInvalidVdisk;
+  uint64_t index = 0;
+
+  bool operator==(const ChunkKey& o) const { return vdisk == o.vdisk && index == o.index; }
+  bool operator<(const ChunkKey& o) const {
+    return vdisk != o.vdisk ? vdisk < o.vdisk : index < o.index;
+  }
+};
+
+struct ChunkKeyHash {
+  size_t operator()(const ChunkKey& k) const {
+    uint64_t h = k.index * 0x9E3779B97F4A7C15ull ^ (static_cast<uint64_t>(k.vdisk) << 32);
+    h ^= h >> 29;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace frangipani
+
+#endif  // SRC_PETAL_TYPES_H_

@@ -1,0 +1,212 @@
+// Unit tests for the block cache: coherence hooks, write-behind, WAL
+// pinning, eviction, prefetch epochs, and prefetch coordination.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/fs/block_cache.h"
+#include "src/fs/device.h"
+#include "src/fs/wal.h"
+
+namespace frangipani {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() : device_(1, PhysDiskParams{.timing_enabled = false}) {
+    Geometry g;
+    g.log_bytes = 64 * 1024;
+    wal_ = std::make_unique<LogWriter>(&device_, g, 0, nullptr, nullptr);
+    BlockCacheOptions opts;
+    opts.capacity_bytes = 64 * 1024;
+    opts.dirty_hiwater_bytes = 32 * 1024;
+    opts.io_threads = 2;
+    cache_ = std::make_unique<BlockCache>(&device_, wal_.get(), opts, nullptr);
+  }
+
+  Bytes Block(uint8_t fill, size_t n = 4096) { return Bytes(n, fill); }
+
+  LocalDevice device_;
+  std::unique_ptr<LogWriter> wal_;
+  std::unique_ptr<BlockCache> cache_;
+};
+
+TEST_F(CacheTest, ReadThroughCachesAndHits) {
+  Bytes data = Block(0xAA);
+  ASSERT_TRUE(device_.Write(0, data, 0).ok());
+  auto r1 = cache_->Read(0, 4096, /*lock=*/7);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, data);
+  EXPECT_EQ(cache_->misses(), 1u);
+  auto r2 = cache_->Read(0, 4096, 7);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(cache_->hits(), 1u);
+}
+
+TEST_F(CacheTest, PutDirtyThenFlushReachesDevice) {
+  ASSERT_TRUE(cache_->PutDirty(4096, Block(0xBB), 7, 0).ok());
+  EXPECT_GT(cache_->dirty_bytes(), 0u);
+  Bytes before;
+  ASSERT_TRUE(device_.Read(4096, 4096, &before).ok());
+  EXPECT_EQ(before[0], 0);  // not written yet (write-behind)
+  ASSERT_TRUE(cache_->FlushLock(7).ok());
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  Bytes after;
+  ASSERT_TRUE(device_.Read(4096, 4096, &after).ok());
+  EXPECT_EQ(after[0], 0xBB);
+}
+
+TEST_F(CacheTest, WalFlushedBeforePinnedBlock) {
+  LogRecord rec;
+  LogBlockUpdate u;
+  u.addr = 8192;
+  u.kind = BlockKind::kMeta4k;
+  u.version = 1;
+  u.ranges.push_back({0, Bytes(16, 0xCC)});
+  rec.updates.push_back(u);
+  uint64_t lsn = wal_->Append(std::move(rec));
+  ASSERT_TRUE(cache_->PutDirty(8192, Block(0xCC), 9, lsn).ok());
+  EXPECT_EQ(wal_->flushed_lsn(), 0u);
+  ASSERT_TRUE(cache_->FlushLock(9).ok());
+  // Write-ahead rule: flushing the block forced the log out first.
+  EXPECT_GE(wal_->flushed_lsn(), lsn);
+}
+
+TEST_F(CacheTest, InvalidateDropsEntriesAndBumpsEpoch) {
+  ASSERT_TRUE(cache_->PutDirty(0, Block(1), 7, 0).ok());
+  ASSERT_TRUE(cache_->FlushLock(7).ok());
+  uint64_t epoch = cache_->LockEpoch(7);
+  cache_->InvalidateLock(7);
+  EXPECT_FALSE(cache_->Cached(0));
+  EXPECT_EQ(cache_->LockEpoch(7), epoch + 1);
+}
+
+TEST_F(CacheTest, StalePrefetchRejectedAfterInvalidation) {
+  uint64_t epoch = cache_->LockEpoch(7);
+  ASSERT_TRUE(cache_->BeginPrefetch(0, 7));
+  // Invalidation (a revoke) waits for the in-flight prefetch to finish —
+  // the wasted-read-ahead delay of Figure 8 — so it runs on another thread.
+  std::atomic<bool> invalidated{false};
+  std::thread revoker([&] {
+    cache_->InvalidateLock(7);
+    invalidated.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(invalidated.load());  // still waiting on the prefetch
+  cache_->PutPrefetched(0, Block(0xEE), 7, epoch);
+  cache_->EndPrefetch(0, 7);
+  revoker.join();
+  // Either the insert lost to the epoch bump or the invalidation dropped
+  // it; in both interleavings no stale data survives.
+  EXPECT_FALSE(cache_->Cached(0));
+}
+
+TEST_F(CacheTest, FreshPrefetchAccepted) {
+  uint64_t epoch = cache_->LockEpoch(7);
+  ASSERT_TRUE(cache_->BeginPrefetch(0, 7));
+  cache_->PutPrefetched(0, Block(0xEF), 7, epoch);
+  cache_->EndPrefetch(0, 7);
+  EXPECT_TRUE(cache_->Cached(0));
+}
+
+TEST_F(CacheTest, BeginPrefetchDedups) {
+  ASSERT_TRUE(cache_->BeginPrefetch(0, 7));
+  EXPECT_FALSE(cache_->BeginPrefetch(0, 7));  // already in flight
+  cache_->EndPrefetch(0, 7);
+  ASSERT_TRUE(cache_->PutDirty(4096, Block(2), 7, 0).ok());
+  EXPECT_FALSE(cache_->BeginPrefetch(4096, 7));  // already cached
+}
+
+TEST_F(CacheTest, ReadWaitsForInflightPrefetch) {
+  ASSERT_TRUE(cache_->BeginPrefetch(0, 7));
+  std::atomic<bool> read_done{false};
+  std::thread reader([&] {
+    auto r = cache_->Read(0, 4096, 7);
+    read_done.store(true);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ((*r)[0], 0x77);  // saw the prefetched content, no duplicate IO
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(read_done.load());
+  cache_->PutPrefetched(0, Block(0x77), 7, cache_->LockEpoch(7));
+  cache_->EndPrefetch(0, 7);
+  reader.join();
+  EXPECT_TRUE(read_done.load());
+}
+
+TEST_F(CacheTest, EvictionKeepsCacheBounded) {
+  // Capacity 64 KB; insert 32 clean 4 KB blocks twice over.
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(device_.Write(i * 4096, Block(static_cast<uint8_t>(i)), 0).ok());
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(cache_->Read(i * 4096, 4096, 7).ok());
+  }
+  int cached = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (cache_->Cached(i * 4096)) {
+      ++cached;
+    }
+  }
+  EXPECT_LE(cached, 16);  // 64 KB / 4 KB
+  EXPECT_GT(cached, 0);
+}
+
+TEST_F(CacheTest, DirtyHiwaterThrottlesViaWriteback) {
+  // 32 KB hiwater: writing 64 KB of dirty data forces write-behind.
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(cache_->PutDirty(i * 4096, Block(static_cast<uint8_t>(i)), 7, 0).ok());
+  }
+  EXPECT_LE(cache_->dirty_bytes(), 32u * 1024);
+  // Every block is durable or still dirty; flush the rest and verify all.
+  ASSERT_TRUE(cache_->FlushAll().ok());
+  for (int i = 0; i < 16; ++i) {
+    Bytes back;
+    ASSERT_TRUE(device_.Read(i * 4096, 4096, &back).ok());
+    EXPECT_EQ(back[0], i) << i;
+  }
+}
+
+TEST_F(CacheTest, DiscardAllDropsDirtyData) {
+  ASSERT_TRUE(cache_->PutDirty(0, Block(0x55), 7, 0).ok());
+  cache_->DiscardAll();
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  EXPECT_FALSE(cache_->Cached(0));
+  Bytes back;
+  ASSERT_TRUE(device_.Read(0, 4096, &back).ok());
+  EXPECT_EQ(back[0], 0);  // never written (lease-loss semantics)
+}
+
+TEST_F(CacheTest, DropCleanKeepsDirty) {
+  ASSERT_TRUE(cache_->PutDirty(0, Block(1), 7, 0).ok());
+  ASSERT_TRUE(device_.Write(4096, Block(2), 0).ok());
+  ASSERT_TRUE(cache_->Read(4096, 4096, 7).ok());
+  cache_->DropClean();
+  EXPECT_TRUE(cache_->Cached(0));    // dirty survives
+  EXPECT_FALSE(cache_->Cached(4096));  // clean dropped
+}
+
+TEST_F(CacheTest, FlushPinnedUpToSelectsByLsn) {
+  LogRecord r1, r2;
+  LogBlockUpdate u;
+  u.addr = 0;
+  u.kind = BlockKind::kMeta4k;
+  u.version = 1;
+  u.ranges.push_back({0, Bytes(8, 1)});
+  r1.updates.push_back(u);
+  u.addr = 4096;
+  r2.updates.push_back(u);
+  uint64_t lsn1 = wal_->Append(std::move(r1));
+  uint64_t lsn2 = wal_->Append(std::move(r2));
+  ASSERT_TRUE(cache_->PutDirty(0, Block(1), 7, lsn1).ok());
+  ASSERT_TRUE(cache_->PutDirty(4096, Block(2), 7, lsn2).ok());
+  ASSERT_TRUE(cache_->FlushPinnedUpTo(lsn1).ok());
+  Bytes back;
+  ASSERT_TRUE(device_.Read(0, 4096, &back).ok());
+  EXPECT_EQ(back[0], 1);  // lsn1 block flushed
+  ASSERT_TRUE(device_.Read(4096, 4096, &back).ok());
+  EXPECT_EQ(back[0], 0);  // lsn2 block still dirty in cache
+}
+
+}  // namespace
+}  // namespace frangipani

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "src/fs/alloc.h"
+#include "src/fs/dir.h"
+#include "src/fs/inode.h"
+#include "src/fs/layout.h"
+
+namespace frangipani {
+namespace {
+
+// ---- inode encoding ----
+
+TEST(InodeTest, EncodeDecodeRoundTrip) {
+  Inode node;
+  node.type = FileType::kRegular;
+  node.nlink = 3;
+  node.size = 123456;
+  node.version = 99;
+  node.mtime_us = 111;
+  node.ctime_us = 222;
+  node.atime_us = 333;
+  node.small[0] = 42;
+  node.small[15] = 77;
+  node.large = 5;
+  Bytes raw = node.Encode();
+  ASSERT_EQ(raw.size(), kInodeSize);
+  auto back = Inode::Decode(raw);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->type, FileType::kRegular);
+  EXPECT_EQ(back->nlink, 3u);
+  EXPECT_EQ(back->size, 123456u);
+  EXPECT_EQ(back->version, 99u);
+  EXPECT_EQ(back->small[0], 42u);
+  EXPECT_EQ(back->small[15], 77u);
+  EXPECT_EQ(back->large, 5u);
+}
+
+TEST(InodeTest, SymlinkTargetStoredInline) {
+  Inode node;
+  node.type = FileType::kSymlink;
+  node.symlink_target = "/some/where/else";
+  auto back = Inode::Decode(node.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->symlink_target, "/some/where/else");
+}
+
+TEST(InodeTest, ZeroBlockDecodesAsFree) {
+  Bytes zeros(kInodeSize, 0);
+  auto node = Inode::Decode(zeros);
+  ASSERT_TRUE(node.ok());
+  EXPECT_TRUE(node->IsFree());
+  EXPECT_EQ(node->version, 0u);
+}
+
+TEST(InodeTest, VersionFieldAtDocumentedOffset) {
+  Inode node;
+  node.type = FileType::kRegular;
+  node.version = 0x1122334455667788ull;
+  Bytes raw = node.Encode();
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(raw[kInodeVersionOffset + i]) << (8 * i);
+  }
+  EXPECT_EQ(v, 0x1122334455667788ull);
+}
+
+// ---- directory blocks ----
+
+TEST(DirBlockTest, InsertFindRemove) {
+  Bytes block = InitDirBlock();
+  EXPECT_TRUE(IsDirBlock(block));
+  EXPECT_TRUE(DirBlockEmpty(block));
+  auto slot = DirBlockFreeSlot(block);
+  ASSERT_TRUE(slot.has_value());
+  DirBlockSetEntry(block, *slot, "hello", 42, FileType::kRegular);
+  EXPECT_FALSE(DirBlockEmpty(block));
+  auto hit = DirBlockFind(block, "hello");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ino, 42u);
+  EXPECT_EQ(hit->type, FileType::kRegular);
+  EXPECT_FALSE(DirBlockFind(block, "other").has_value());
+  DirBlockSetEntry(block, hit->slot, "", 0, FileType::kFree);
+  EXPECT_FALSE(DirBlockFind(block, "hello").has_value());
+  EXPECT_TRUE(DirBlockEmpty(block));
+}
+
+TEST(DirBlockTest, FillsExactlyEntriesPerBlock) {
+  Bytes block = InitDirBlock();
+  for (uint32_t i = 0; i < kDirEntriesPerBlock; ++i) {
+    auto slot = DirBlockFreeSlot(block);
+    ASSERT_TRUE(slot.has_value()) << i;
+    DirBlockSetEntry(block, *slot, "f" + std::to_string(i), i + 1, FileType::kRegular);
+  }
+  EXPECT_FALSE(DirBlockFreeSlot(block).has_value());
+  std::vector<DirEntry> entries;
+  DirBlockList(block, &entries);
+  EXPECT_EQ(entries.size(), kDirEntriesPerBlock);
+}
+
+TEST(DirBlockTest, SimilarNamesDistinguished) {
+  Bytes block = InitDirBlock();
+  DirBlockSetEntry(block, 0, "ab", 1, FileType::kRegular);
+  DirBlockSetEntry(block, 1, "abc", 2, FileType::kRegular);
+  DirBlockSetEntry(block, 2, "a", 3, FileType::kRegular);
+  EXPECT_EQ(DirBlockFind(block, "ab")->ino, 1u);
+  EXPECT_EQ(DirBlockFind(block, "abc")->ino, 2u);
+  EXPECT_EQ(DirBlockFind(block, "a")->ino, 3u);
+}
+
+// ---- allocation bitmaps ----
+
+TEST(AllocTest, BitSetGetClear) {
+  Bytes block = InitSegmentBlock();
+  EXPECT_FALSE(SegBitGet(block, 100));
+  SegBitSet(block, 100, true);
+  EXPECT_TRUE(SegBitGet(block, 100));
+  EXPECT_FALSE(SegBitGet(block, 99));
+  EXPECT_FALSE(SegBitGet(block, 101));
+  SegBitSet(block, 100, false);
+  EXPECT_FALSE(SegBitGet(block, 100));
+}
+
+TEST(AllocTest, FindFreeInodeSkipsAllocated) {
+  Bytes block = InitSegmentBlock();
+  SegBitSet(block, kSegInodeBitsOff + 0, true);
+  SegBitSet(block, kSegInodeBitsOff + 1, true);
+  auto i = SegFindFreeInode(block);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(*i, 2u);
+  for (uint32_t k = 0; k < kInodesPerSegment; ++k) {
+    SegBitSet(block, kSegInodeBitsOff + k, true);
+  }
+  EXPECT_FALSE(SegFindFreeInode(block).has_value());
+}
+
+TEST(AllocTest, MetadataTaintRuleForSmallBlocks) {
+  Bytes block = InitSegmentBlock();
+  // Block 0 was metadata once: allocated + tainted, then freed.
+  SegBitSet(block, kSegTaintBitsOff + 0, true);
+  // User data must NOT get the tainted block.
+  auto data = SegFindFreeSmall(block, /*for_metadata=*/false);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_NE(*data, 0u);
+  // Metadata may reuse it (prefers untainted but can take tainted).
+  for (uint32_t k = 1; k < kSmallsPerSegment; ++k) {
+    SegBitSet(block, kSegSmallBitsOff + k, true);  // all others allocated
+  }
+  EXPECT_FALSE(SegFindFreeSmall(block, false).has_value());
+  auto meta = SegFindFreeSmall(block, true);
+  ASSERT_TRUE(meta.has_value());
+  EXPECT_EQ(*meta, 0u);
+}
+
+TEST(AllocTest, ObjectSegmentMappingRoundTrips) {
+  // inode <-> segment
+  for (uint64_t ino : {0ull, 1ull, 511ull, 512ull, 100'000ull}) {
+    uint32_t seg = SegmentOfInode(ino);
+    EXPECT_EQ(InodeOfSeg(seg, static_cast<uint32_t>(ino % kInodesPerSegment)), ino);
+  }
+  // small block (1-based) <-> segment
+  for (uint64_t b : {1ull, 2ull, 8192ull, 8193ull, 50'000ull}) {
+    uint32_t seg = SegmentOfSmall(b);
+    EXPECT_EQ(SmallOfSeg(seg, static_cast<uint32_t>((b - 1) % kSmallsPerSegment)), b);
+  }
+  for (uint64_t l : {1ull, 16ull, 17ull, 1000ull}) {
+    uint32_t seg = SegmentOfLarge(l);
+    EXPECT_EQ(LargeOfSeg(seg, static_cast<uint32_t>((l - 1) % kLargesPerSegment)), l);
+  }
+}
+
+// ---- layout algebra ----
+
+TEST(LayoutTest, RegionsAtPaperOffsets) {
+  Geometry g;
+  EXPECT_EQ(g.param_base, 0u);
+  EXPECT_EQ(g.log_base, 1 * kTiB);
+  EXPECT_EQ(g.bitmap_base, 2 * kTiB);
+  EXPECT_EQ(g.inode_base, 5 * kTiB);
+  EXPECT_EQ(g.small_base, 6 * kTiB);
+  EXPECT_EQ(g.large_base, 134 * kTiB);
+  EXPECT_EQ(g.num_logs, 256u);
+  EXPECT_EQ(g.log_bytes, 128u * 1024);
+}
+
+TEST(LayoutTest, AddressesDoNotOverlap) {
+  Geometry g;
+  EXPECT_LT(g.LogAddr(g.num_logs - 1) + g.log_bytes, g.bitmap_base);
+  EXPECT_LT(g.SegmentAddr(g.num_segments - 1) + kBlockSize, g.inode_base);
+  EXPECT_LT(g.InodeAddr(g.MaxInodes()), g.small_base);
+  EXPECT_LT(g.SmallBlockAddr(g.MaxSmallBlocks()), g.large_base);
+}
+
+TEST(LayoutTest, LockIdOrderingMatchesAcquisitionHierarchy) {
+  // barrier < log < segment < inode: the global sort order of §5.
+  EXPECT_LT(kLockBarrier, LogLockId(0));
+  EXPECT_LT(LogLockId(255), SegmentLockId(0));
+  EXPECT_LT(SegmentLockId(Geometry{}.num_segments), InodeLockId(0));
+  EXPECT_TRUE(IsInodeLock(InodeLockId(12345)));
+  EXPECT_EQ(InodeOfLock(InodeLockId(12345)), 12345u);
+  EXPECT_TRUE(IsSegmentLock(SegmentLockId(7)));
+  EXPECT_EQ(SegmentOfLock(SegmentLockId(7)), 7u);
+}
+
+TEST(LayoutTest, GeometryEncodeDecode) {
+  Geometry g;
+  g.num_segments = 1234;
+  g.log_bytes = 64 * 1024;
+  Encoder enc;
+  g.Encode(enc);
+  Bytes buf = enc.Take();
+  Decoder dec(buf);
+  Geometry back = Geometry::Decode(dec);
+  EXPECT_EQ(back.num_segments, 1234u);
+  EXPECT_EQ(back.log_bytes, 64u * 1024);
+  EXPECT_EQ(back.large_base, g.large_base);
+}
+
+TEST(LayoutTest, FileSizeLimits) {
+  Geometry g;
+  EXPECT_EQ(g.MaxFileSize(), kSmallBytesPerFile + kTiB);
+  // Paper: ~16 million large files.
+  EXPECT_GE(g.MaxLargeBlocks(), 1u << 20);
+}
+
+}  // namespace
+}  // namespace frangipani

@@ -1,0 +1,318 @@
+// End-to-end single-server tests of the full stack: Petal (3 servers, no
+// timing), distributed lock service, one Frangipani server.
+#include <gtest/gtest.h>
+
+#include "src/fs/fsck.h"
+#include "src/server/cluster.h"
+
+namespace frangipani {
+namespace {
+
+class FsBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opts;
+    opts.petal_servers = 3;
+    opts.disks_per_petal = 2;
+    opts.lock_servers = 3;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(cluster_->Start().ok());
+    auto node = cluster_->AddFrangipani();
+    ASSERT_TRUE(node.ok()) << node.status();
+    fs_ = (*node)->fs();
+  }
+
+  Bytes Pattern(size_t n, uint8_t seed = 7) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>((i * 131 + seed) & 0xFF);
+    }
+    return out;
+  }
+
+  FsckReport Fsck() {
+    EXPECT_TRUE(fs_->SyncAll().ok());
+    PetalDevice device(cluster_->admin_petal(), cluster_->vdisk());
+    return RunFsck(&device, cluster_->geometry());
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  FrangipaniFs* fs_ = nullptr;
+};
+
+TEST_F(FsBasicTest, CreateAndStat) {
+  auto ino = fs_->Create("/hello.txt");
+  ASSERT_TRUE(ino.ok()) << ino.status();
+  auto attr = fs_->Stat("/hello.txt");
+  ASSERT_TRUE(attr.ok()) << attr.status();
+  EXPECT_EQ(attr->type, FileType::kRegular);
+  EXPECT_EQ(attr->size, 0u);
+  EXPECT_EQ(attr->nlink, 1u);
+  EXPECT_EQ(attr->ino, *ino);
+}
+
+TEST_F(FsBasicTest, CreateDuplicateFails) {
+  ASSERT_TRUE(fs_->Create("/a").ok());
+  auto again = fs_->Create("/a");
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(FsBasicTest, WriteReadSmall) {
+  auto ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  Bytes data = Pattern(5000);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  Bytes back;
+  auto n = fs_->Read(*ino, 0, 5000, &back);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 5000u);
+  EXPECT_EQ(back, data);
+  auto attr = fs_->StatIno(*ino);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 5000u);
+}
+
+TEST_F(FsBasicTest, WriteReadUnaligned) {
+  auto ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  Bytes a = Pattern(1000, 1);
+  Bytes b = Pattern(1000, 2);
+  ASSERT_TRUE(fs_->Write(*ino, 100, a).ok());
+  ASSERT_TRUE(fs_->Write(*ino, 600, b).ok());
+  Bytes back;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 1600, &back).ok());
+  ASSERT_EQ(back.size(), 1600u);
+  // [0,100) zeros; [100,600) = a[0..500); [600,1600) = b.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(back[i], 0) << i;
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(back[100 + i], a[i]) << i;
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(back[600 + i], b[i]) << i;
+  }
+}
+
+TEST_F(FsBasicTest, LargeFileSpillsToLargeBlock) {
+  auto ino = fs_->Create("/big");
+  ASSERT_TRUE(ino.ok());
+  // Write 200 KB: 64 KB in small blocks, the rest in the large block (§3).
+  Bytes data = Pattern(200 * 1024);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  Bytes back;
+  ASSERT_TRUE(fs_->Read(*ino, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+  // Cross-boundary read.
+  Bytes mid;
+  ASSERT_TRUE(fs_->Read(*ino, 60 * 1024, 10 * 1024, &mid).ok());
+  EXPECT_TRUE(std::equal(mid.begin(), mid.end(), data.begin() + 60 * 1024));
+  EXPECT_TRUE(Fsck().ok);
+}
+
+TEST_F(FsBasicTest, SparseFileReadsZeros) {
+  auto ino = fs_->Create("/sparse");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 10 * 4096, Pattern(100)).ok());
+  Bytes back;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 4096, &back).ok());
+  EXPECT_TRUE(std::all_of(back.begin(), back.end(), [](uint8_t b) { return b == 0; }));
+}
+
+TEST_F(FsBasicTest, MkdirReaddirUnlink) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs_->Create("/dir/x").ok());
+  ASSERT_TRUE(fs_->Create("/dir/y").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dir/sub").ok());
+  auto entries = fs_->Readdir("/dir");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "sub");
+  EXPECT_EQ((*entries)[1].name, "x");
+  EXPECT_EQ((*entries)[2].name, "y");
+
+  ASSERT_TRUE(fs_->Unlink("/dir/x").ok());
+  entries = fs_->Readdir("/dir");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 2u);
+  EXPECT_EQ(fs_->Stat("/dir/x").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(Fsck().ok);
+}
+
+TEST_F(FsBasicTest, RmdirOnlyWhenEmpty) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/d/f").ok());
+  EXPECT_EQ(fs_->Rmdir("/d").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_->Rmdir("/d").ok());
+  EXPECT_EQ(fs_->Stat("/d").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FsBasicTest, UnlinkFreesStorage) {
+  auto ino = fs_->Create("/victim");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(100 * 1024)).ok());
+  ASSERT_TRUE(fs_->Unlink("/victim").ok());
+  FsckReport report = Fsck();
+  EXPECT_TRUE(report.ok) << report.Summary();
+  // Only the root directory's own dir block remains.
+  EXPECT_EQ(report.small_blocks_reachable, 1u);
+  EXPECT_EQ(report.large_blocks_reachable, 0u);
+}
+
+TEST_F(FsBasicTest, RenameSameDir) {
+  auto ino = fs_->Create("/old");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Rename("/old", "/new").ok());
+  EXPECT_EQ(fs_->Stat("/old").status().code(), StatusCode::kNotFound);
+  auto attr = fs_->Stat("/new");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->ino, *ino);
+}
+
+TEST_F(FsBasicTest, RenameAcrossDirsReplacingTarget) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/b").ok());
+  auto src = fs_->Create("/a/f");
+  ASSERT_TRUE(src.ok());
+  ASSERT_TRUE(fs_->Write(*src, 0, Pattern(100)).ok());
+  auto dst = fs_->Create("/b/g");
+  ASSERT_TRUE(dst.ok());
+  ASSERT_TRUE(fs_->Write(*dst, 0, Pattern(9000)).ok());
+  ASSERT_TRUE(fs_->Rename("/a/f", "/b/g").ok());
+  EXPECT_EQ(fs_->Stat("/a/f").status().code(), StatusCode::kNotFound);
+  auto attr = fs_->Stat("/b/g");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->ino, *src);
+  FsckReport report = Fsck();
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_F(FsBasicTest, SymlinkAndFollow) {
+  auto ino = fs_->Create("/target");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(64)).ok());
+  ASSERT_TRUE(fs_->Symlink("/target", "/link").ok());
+  auto tgt = fs_->Readlink("/link");
+  ASSERT_TRUE(tgt.ok());
+  EXPECT_EQ(*tgt, "/target");
+  auto resolved = fs_->Lookup("/link");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *ino);
+  // lstat does not follow.
+  auto attr = fs_->Stat("/link");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->type, FileType::kSymlink);
+}
+
+TEST_F(FsBasicTest, SymlinkInMiddleOfPath) {
+  ASSERT_TRUE(fs_->Mkdir("/real").ok());
+  ASSERT_TRUE(fs_->Create("/real/file").ok());
+  ASSERT_TRUE(fs_->Symlink("/real", "/alias").ok());
+  auto ino = fs_->Lookup("/alias/file");
+  ASSERT_TRUE(ino.ok()) << ino.status();
+}
+
+TEST_F(FsBasicTest, HardLink) {
+  auto ino = fs_->Create("/one");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(128)).ok());
+  ASSERT_TRUE(fs_->Link("/one", "/two").ok());
+  auto attr = fs_->Stat("/two");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->ino, *ino);
+  EXPECT_EQ(attr->nlink, 2u);
+  ASSERT_TRUE(fs_->Unlink("/one").ok());
+  attr = fs_->Stat("/two");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->nlink, 1u);
+  Bytes back;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 128, &back).ok());
+  EXPECT_EQ(back, Pattern(128));
+}
+
+TEST_F(FsBasicTest, TruncateShrinkAndGrow) {
+  auto ino = fs_->Create("/t");
+  ASSERT_TRUE(ino.ok());
+  Bytes data = Pattern(100 * 1024);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  ASSERT_TRUE(fs_->Truncate(*ino, 10 * 1024).ok());
+  auto attr = fs_->StatIno(*ino);
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->size, 10 * 1024u);
+  Bytes back;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 200 * 1024, &back).ok());
+  ASSERT_EQ(back.size(), 10 * 1024u);
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), data.begin()));
+  FsckReport report = Fsck();
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_F(FsBasicTest, ManyFilesInDirectoryGrowsBlocks) {
+  ASSERT_TRUE(fs_->Mkdir("/many").ok());
+  constexpr int kFiles = 200;  // > 63 entries per block
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(fs_->Create("/many/file" + std::to_string(i)).ok()) << i;
+  }
+  auto entries = fs_->Readdir("/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(kFiles));
+  FsckReport report = Fsck();
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_F(FsBasicTest, DeepPaths) {
+  std::string path;
+  for (int i = 0; i < 10; ++i) {
+    path += "/d" + std::to_string(i);
+    ASSERT_TRUE(fs_->Mkdir(path).ok()) << path;
+  }
+  ASSERT_TRUE(fs_->Create(path + "/leaf").ok());
+  EXPECT_TRUE(fs_->Lookup(path + "/leaf").ok());
+}
+
+TEST_F(FsBasicTest, FsyncAndSync) {
+  auto ino = fs_->Create("/durable");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(8192)).ok());
+  EXPECT_TRUE(fs_->Fsync(*ino).ok());
+  EXPECT_TRUE(fs_->SyncAll().ok());
+}
+
+TEST_F(FsBasicTest, StatNonexistent) {
+  EXPECT_EQ(fs_->Stat("/nope").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(fs_->Stat("/nope/deeper").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FsBasicTest, RootReaddir) {
+  ASSERT_TRUE(fs_->Create("/a").ok());
+  auto entries = fs_->Readdir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 1u);
+}
+
+TEST_F(FsBasicTest, MaxFileSizeEnforced) {
+  auto ino = fs_->Create("/huge");
+  ASSERT_TRUE(ino.ok());
+  uint64_t max = cluster_->geometry().MaxFileSize();
+  EXPECT_EQ(fs_->Write(*ino, max - 10, Pattern(100)).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(FsBasicTest, FsckCleanAfterWorkload) {
+  ASSERT_TRUE(fs_->Mkdir("/w").ok());
+  for (int i = 0; i < 20; ++i) {
+    auto ino = fs_->Create("/w/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(1000 * (i + 1))).ok());
+  }
+  for (int i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(fs_->Unlink("/w/f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(fs_->Rename("/w/f1", "/w/renamed").ok());
+  FsckReport report = Fsck();
+  EXPECT_TRUE(report.ok) << report.Summary();
+  EXPECT_EQ(report.files, 10u);
+}
+
+}  // namespace
+}  // namespace frangipani

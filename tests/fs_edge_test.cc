@@ -1,0 +1,256 @@
+// Edge cases and error paths of the file-system API.
+#include <gtest/gtest.h>
+
+#include "src/fs/fsck.h"
+#include "src/server/cluster.h"
+
+namespace frangipani {
+namespace {
+
+class FsEdgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterOptions opts;
+    opts.petal_servers = 3;
+    opts.disks_per_petal = 1;
+    cluster_ = std::make_unique<Cluster>(opts);
+    ASSERT_TRUE(cluster_->Start().ok());
+    auto node = cluster_->AddFrangipani();
+    ASSERT_TRUE(node.ok());
+    fs_ = (*node)->fs();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  FrangipaniFs* fs_ = nullptr;
+};
+
+TEST_F(FsEdgeTest, PathSyntax) {
+  EXPECT_EQ(fs_->Create("").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Create("/").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Create("/a/../b").status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Create("/./x").status().code(), StatusCode::kInvalidArgument);
+  std::string long_name(kDirNameMax + 1, 'x');
+  EXPECT_EQ(fs_->Create("/" + long_name).status().code(), StatusCode::kInvalidArgument);
+  std::string max_name(kDirNameMax, 'y');
+  EXPECT_TRUE(fs_->Create("/" + max_name).ok());
+  // Redundant slashes are tolerated.
+  EXPECT_TRUE(fs_->Mkdir("//d").ok());
+  EXPECT_TRUE(fs_->Create("//d///f").ok());
+  EXPECT_TRUE(fs_->Stat("/d/f").ok());
+}
+
+TEST_F(FsEdgeTest, SymlinkLoopDetected) {
+  ASSERT_TRUE(fs_->Symlink("/b", "/a").ok());
+  ASSERT_TRUE(fs_->Symlink("/a", "/b").ok());
+  EXPECT_EQ(fs_->Lookup("/a").status().code(), StatusCode::kInvalidArgument);
+  // Loop through a directory component.
+  EXPECT_EQ(fs_->Stat("/a/child").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsEdgeTest, SymlinkTargetLengthLimit) {
+  std::string target(kSymlinkMax + 1, 't');
+  EXPECT_FALSE(fs_->Symlink(target, "/toolong").ok());
+  std::string ok_target(kSymlinkMax, 't');
+  EXPECT_TRUE(fs_->Symlink(ok_target, "/fits").ok());
+  auto back = fs_->Readlink("/fits");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), kSymlinkMax);
+}
+
+TEST_F(FsEdgeTest, RelativeSymlinkResolvesWithinDirectory) {
+  ASSERT_TRUE(fs_->Mkdir("/dir").ok());
+  ASSERT_TRUE(fs_->Create("/dir/real").ok());
+  ASSERT_TRUE(fs_->Symlink("real", "/dir/alias").ok());
+  auto direct = fs_->Lookup("/dir/real");
+  auto via = fs_->Lookup("/dir/alias");
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(via.ok());
+  EXPECT_EQ(*via, *direct);
+}
+
+TEST_F(FsEdgeTest, ReadWriteOnDirectoryRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  auto ino = fs_->Lookup("/d");
+  ASSERT_TRUE(ino.ok());
+  Bytes buf;
+  EXPECT_EQ(fs_->Read(*ino, 0, 10, &buf).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Write(*ino, 0, Bytes(10, 1)).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Truncate(*ino, 0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsEdgeTest, UnlinkDirectoryAndRmdirFileRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  EXPECT_EQ(fs_->Unlink("/d").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fs_->Rmdir("/f").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsEdgeTest, HardLinkToDirectoryRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->Link("/d", "/d2").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsEdgeTest, RenameDirOntoNonEmptyDirRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dst").ok());
+  ASSERT_TRUE(fs_->Create("/dst/occupied").ok());
+  EXPECT_EQ(fs_->Rename("/src", "/dst").code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(fs_->Unlink("/dst/occupied").ok());
+  EXPECT_TRUE(fs_->Rename("/src", "/dst").ok());  // empty dir is replaceable
+}
+
+TEST_F(FsEdgeTest, RenameFileOntoDirRejected) {
+  ASSERT_TRUE(fs_->Create("/f").ok());
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->Rename("/f", "/d").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FsEdgeTest, RenameToSamePathIsNoOp) {
+  auto ino = fs_->Create("/same");
+  ASSERT_TRUE(ino.ok());
+  EXPECT_TRUE(fs_->Rename("/same", "/same").ok());
+  auto attr = fs_->Stat("/same");
+  ASSERT_TRUE(attr.ok());
+  EXPECT_EQ(attr->ino, *ino);
+}
+
+TEST_F(FsEdgeTest, ZeroLengthIo) {
+  auto ino = fs_->Create("/z");
+  ASSERT_TRUE(ino.ok());
+  EXPECT_TRUE(fs_->Write(*ino, 0, Bytes{}).ok());
+  Bytes out;
+  auto n = fs_->Read(*ino, 0, 0, &out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+  // Reads past EOF return zero bytes, not errors.
+  n = fs_->Read(*ino, 100, 50, &out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST_F(FsEdgeTest, HoleZeroSemantics) {
+  auto ino = fs_->Create("/holey");
+  ASSERT_TRUE(ino.ok());
+  // Write only the 3rd small block; blocks 0-1 are holes.
+  ASSERT_TRUE(fs_->Write(*ino, 2 * 4096, Bytes(4096, 0xAB)).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 3 * 4096, &out).ok());
+  ASSERT_EQ(out.size(), 3u * 4096);
+  for (int i = 0; i < 2 * 4096; ++i) {
+    ASSERT_EQ(out[i], 0) << i;
+  }
+  EXPECT_EQ(out[2 * 4096], 0xAB);
+}
+
+TEST_F(FsEdgeTest, TruncateThenRewriteReadsZerosBetween) {
+  auto ino = fs_->Create("/t");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Bytes(6000, 0xCD)).ok());
+  ASSERT_TRUE(fs_->Truncate(*ino, 1000).ok());
+  ASSERT_TRUE(fs_->Write(*ino, 3000, Bytes(100, 0xEF)).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 3100, &out).ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(out[i], 0xCD) << i;
+  }
+  for (int i = 1000; i < 3000; ++i) {
+    ASSERT_EQ(out[i], 0) << i;  // no resurrected data
+  }
+  EXPECT_EQ(out[3000], 0xEF);
+}
+
+TEST_F(FsEdgeTest, DirectoryGrowsIntoLargeBlock) {
+  // More entries than fit in the 16 small blocks (16 * 63 = 1008).
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  constexpr int kEntries = 1100;
+  for (int i = 0; i < kEntries; ++i) {
+    ASSERT_TRUE(fs_->Create("/big/e" + std::to_string(i)).ok()) << i;
+  }
+  auto entries = fs_->Readdir("/big");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), static_cast<size_t>(kEntries));
+  // The directory's data now spills into its large block; everything still
+  // resolves and fsck stays clean.
+  EXPECT_TRUE(fs_->Lookup("/big/e1099").ok());
+  ASSERT_TRUE(fs_->SyncAll().ok());
+  PetalDevice device(cluster_->admin_petal(), cluster_->vdisk());
+  FsckReport report = RunFsck(&device, cluster_->geometry());
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+TEST_F(FsEdgeTest, DropCachesPreservesData) {
+  auto ino = fs_->Create("/persist");
+  ASSERT_TRUE(ino.ok());
+  Bytes data(10000, 0x42);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  ASSERT_TRUE(fs_->DropCaches().ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->Read(*ino, 0, data.size(), &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(FsEdgeTest, ApproximateAtimeAdvancesOnRead) {
+  auto ino = fs_->Create("/stamped");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Bytes(100, 1)).ok());
+  auto before = fs_->StatIno(*ino);
+  ASSERT_TRUE(before.ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 100, &out).ok());
+  auto after = fs_->StatIno(*ino);
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->atime_us, before->atime_us);
+}
+
+TEST_F(FsEdgeTest, StatsCountOperations) {
+  auto before = fs_->Stats();
+  ASSERT_TRUE(fs_->Create("/counted").ok());
+  auto ino = fs_->Lookup("/counted");
+  ASSERT_TRUE(fs_->Write(*ino, 0, Bytes(10, 1)).ok());
+  Bytes out;
+  ASSERT_TRUE(fs_->Read(*ino, 0, 10, &out).ok());
+  auto after = fs_->Stats();
+  EXPECT_GE(after.operations, before.operations + 3);
+  EXPECT_GE(after.log_records, before.log_records + 1);
+}
+
+TEST_F(FsEdgeTest, ReadaheadTracksSequentialReads) {
+  auto ino = fs_->Create("/seq");
+  ASSERT_TRUE(ino.ok());
+  Bytes unit(64 * 1024, 0x11);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs_->Write(*ino, i * unit.size(), unit).ok());
+  }
+  ASSERT_TRUE(fs_->DropCaches().ok());
+  Bytes out;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs_->Read(*ino, i * unit.size(), unit.size(), &out).ok());
+  }
+  EXPECT_GT(fs_->Stats().prefetches, 0u);
+  // With read-ahead off, no prefetches are issued.
+  fs_->SetReadahead(false);
+  uint64_t prefetches = fs_->Stats().prefetches;
+  ASSERT_TRUE(fs_->DropCaches().ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(fs_->Read(*ino, i * unit.size(), unit.size(), &out).ok());
+  }
+  EXPECT_EQ(fs_->Stats().prefetches, prefetches);
+}
+
+TEST_F(FsEdgeTest, UnmountedAndRemountedStatePersists) {
+  auto ino = fs_->Create("/durable");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Bytes(5000, 0x99)).ok());
+  ASSERT_TRUE(cluster_->node(0)->Unmount().ok());
+  // Mount a second machine; everything is there.
+  auto node = cluster_->AddFrangipani();
+  ASSERT_TRUE(node.ok());
+  auto found = (*node)->fs()->Lookup("/durable");
+  ASSERT_TRUE(found.ok());
+  Bytes out;
+  ASSERT_TRUE((*node)->fs()->Read(*found, 0, 5000, &out).ok());
+  EXPECT_EQ(out, Bytes(5000, 0x99));
+}
+
+}  // namespace
+}  // namespace frangipani

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/base/clock.h"
+#include "src/lock/lock_core.h"
+#include "src/lock/slot_table.h"
+
+namespace frangipani {
+namespace {
+
+LockCore::RevokeFn NoRevoke() {
+  return [](uint32_t, LockId, LockMode) { return OkStatus(); };
+}
+LockCore::DeadHolderFn NoDead() {
+  return [](uint32_t) {};
+}
+
+TEST(LockCoreTest, SharedLocksCoexist) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
+  EXPECT_EQ(core.HeldMode(2, 100), LockMode::kShared);
+  EXPECT_EQ(core.lock_count(), 1u);
+}
+
+TEST(LockCoreTest, ExclusiveRevokesSharers) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  std::vector<uint32_t> revoked;
+  auto revoke = [&](uint32_t holder, LockId lock, LockMode new_mode) {
+    EXPECT_EQ(lock, 100u);
+    EXPECT_EQ(new_mode, LockMode::kNone);
+    revoked.push_back(holder);
+    return OkStatus();
+  };
+  ASSERT_TRUE(core.Request(3, 100, LockMode::kExclusive, revoke, NoDead()).ok());
+  EXPECT_EQ(revoked.size(), 2u);
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kNone);
+  EXPECT_EQ(core.HeldMode(3, 100), LockMode::kExclusive);
+}
+
+TEST(LockCoreTest, ReaderDowngradesWriter) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  bool downgraded = false;
+  auto revoke = [&](uint32_t holder, LockId, LockMode new_mode) {
+    EXPECT_EQ(holder, 1u);
+    EXPECT_EQ(new_mode, LockMode::kShared);
+    downgraded = true;
+    return OkStatus();
+  };
+  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, revoke, NoDead()).ok());
+  EXPECT_TRUE(downgraded);
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
+  EXPECT_EQ(core.HeldMode(2, 100), LockMode::kShared);
+}
+
+TEST(LockCoreTest, ReRequestIsIdempotent) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kExclusive);
+}
+
+TEST(LockCoreTest, UpgradeRevokesOtherSharers) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  std::vector<uint32_t> revoked;
+  auto revoke = [&](uint32_t holder, LockId, LockMode) {
+    revoked.push_back(holder);
+    return OkStatus();
+  };
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, revoke, NoDead()).ok());
+  EXPECT_EQ(revoked, std::vector<uint32_t>{2});
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kExclusive);
+}
+
+TEST(LockCoreTest, ReleaseAndDowngrade) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  core.Release(1, 100, LockMode::kShared);
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
+  core.Release(1, 100, LockMode::kNone);
+  EXPECT_EQ(core.HeldMode(1, 100), LockMode::kNone);
+}
+
+TEST(LockCoreTest, ReleaseAllDropsEverything) {
+  LockCore core;
+  for (LockId l = 1; l <= 5; ++l) {
+    ASSERT_TRUE(core.Request(7, l, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  }
+  EXPECT_EQ(core.lock_count(), 5u);
+  core.ReleaseAll(7);
+  EXPECT_EQ(core.lock_count(), 0u);
+}
+
+TEST(LockCoreTest, DeadHolderCallbackOnFailedRevoke) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  int dead_calls = 0;
+  auto revoke = [&](uint32_t, LockId, LockMode) { return Unavailable("gone"); };
+  auto dead = [&](uint32_t holder) {
+    EXPECT_EQ(holder, 1u);
+    if (++dead_calls >= 1) {
+      core.ReleaseAll(1);  // the "recovery" resolves the conflict
+    }
+  };
+  ASSERT_TRUE(core.Request(2, 100, LockMode::kExclusive, revoke, dead).ok());
+  EXPECT_GE(dead_calls, 1);
+  EXPECT_EQ(core.HeldMode(2, 100), LockMode::kExclusive);
+}
+
+TEST(LockCoreTest, BlockedRequesterWakesOnRelease) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  std::atomic<bool> granted{false};
+  // Holder 1's revoke "waits" (simulating a busy user) and then complies.
+  std::thread waiter([&] {
+    auto slow_revoke = [&](uint32_t, LockId, LockMode) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      return OkStatus();
+    };
+    ASSERT_TRUE(core.Request(2, 100, LockMode::kExclusive, slow_revoke, NoDead()).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(granted.load());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockCoreTest, DumpAndInstallRoundTrip) {
+  LockCore core;
+  ASSERT_TRUE(core.Request(1, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(2, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(core.Request(3, 20, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  auto dump = core.Dump();
+  LockCore fresh;
+  for (const auto& [lock, slot, mode] : dump) {
+    fresh.Install(slot, lock, mode);
+  }
+  EXPECT_EQ(fresh.HeldMode(1, 10), LockMode::kShared);
+  EXPECT_EQ(fresh.HeldMode(2, 10), LockMode::kShared);
+  EXPECT_EQ(fresh.HeldMode(3, 20), LockMode::kExclusive);
+}
+
+// ---- SlotTable ----
+
+TEST(SlotTableTest, AssignsLowestFreeSlot) {
+  ManualClock clock;
+  SlotTable table(&clock, Duration(30'000'000));
+  auto s0 = table.Open("fs", 5);
+  auto s1 = table.Open("fs", 6);
+  ASSERT_TRUE(s0.ok());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(*s0, 0u);
+  EXPECT_EQ(*s1, 1u);
+  table.Free(*s0);
+  auto s2 = table.Open("fs", 7);
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, 0u);  // reuses the freed slot
+}
+
+TEST(SlotTableTest, LeaseExpiry) {
+  ManualClock clock;
+  SlotTable table(&clock, Duration(1'000'000));  // 1 s lease
+  auto s = table.Open("fs", 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(table.Expired(*s));
+  EXPECT_TRUE(table.Renew(*s));
+  clock.Advance(Duration(900'000));
+  EXPECT_TRUE(table.Renew(*s));  // renewed in time
+  clock.Advance(Duration(1'100'000));
+  EXPECT_TRUE(table.Expired(*s));
+  EXPECT_FALSE(table.Renew(*s));  // too late: considered failed
+  EXPECT_EQ(table.ExpiredSlots(), std::vector<uint32_t>{*s});
+}
+
+TEST(SlotTableTest, EncodeDecode) {
+  ManualClock clock;
+  SlotTable table(&clock, Duration(30'000'000));
+  ASSERT_TRUE(table.Open("fs", 5).ok());
+  ASSERT_TRUE(table.Open("fs", 6).ok());
+  Encoder enc;
+  table.Encode(enc);
+  Bytes buf = enc.Take();
+  SlotTable copy(&clock, Duration(30'000'000));
+  Decoder dec(buf);
+  copy.DecodeInto(dec);
+  EXPECT_TRUE(copy.IsOpen(0));
+  EXPECT_TRUE(copy.IsOpen(1));
+  EXPECT_FALSE(copy.IsOpen(2));
+  EXPECT_EQ(copy.ClerkOf(0), 5u);
+  EXPECT_EQ(copy.ClerkOf(1), 6u);
+}
+
+}  // namespace
+}  // namespace frangipani

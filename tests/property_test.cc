@@ -1,0 +1,299 @@
+// Property-based tests (parameterized sweeps):
+//  1. Random operation sequences against an in-memory reference model — the
+//     file system must agree with the model after every operation.
+//  2. Crash-at-a-random-point: run a random workload, crash the server with
+//     an arbitrary prefix of its log durable, recover, and require (a) fsck
+//     clean, and (b) everything the workload fsync'd is still there.
+//  3. Log replay idempotence under double recovery.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "src/base/rng.h"
+#include "src/fs/fsck.h"
+#include "src/server/cluster.h"
+
+namespace frangipani {
+namespace {
+
+Bytes PatternBytes(Rng& rng, size_t n) {
+  Bytes out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Model check
+// ---------------------------------------------------------------------------
+
+struct ModelFile {
+  Bytes content;
+};
+
+// Reference model: path -> file content; dirs tracked by prefix set.
+struct Model {
+  std::map<std::string, ModelFile> files;
+  std::set<std::string> dirs{""};
+
+  static std::string Parent(const std::string& path) {
+    size_t pos = path.find_last_of('/');
+    return path.substr(0, pos);
+  }
+};
+
+class ModelCheckTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModelCheckTest, RandomOpsAgreeWithModel) {
+  ClusterOptions copts;
+  copts.petal_servers = 3;
+  copts.disks_per_petal = 1;
+  Cluster cluster(copts);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto node = cluster.AddFrangipani();
+  ASSERT_TRUE(node.ok());
+  FrangipaniFs* fs = (*node)->fs();
+
+  Rng rng(GetParam() * 7919 + 13);
+  Model model;
+  std::vector<std::string> dir_pool = {""};
+
+  for (int step = 0; step < 150; ++step) {
+    uint64_t op = rng.Below(10);
+    if (op < 3) {  // create
+      std::string dir = dir_pool[rng.Below(dir_pool.size())];
+      std::string path = dir + "/f" + std::to_string(rng.Below(30));
+      auto result = fs->Create(path);
+      bool model_ok = model.files.count(path) == 0 && model.dirs.count(path) == 0;
+      EXPECT_EQ(result.ok(), model_ok) << path << " step " << step << ": " << result.status();
+      if (model_ok) {
+        model.files[path] = {};
+      }
+    } else if (op == 3) {  // mkdir
+      std::string dir = dir_pool[rng.Below(dir_pool.size())];
+      std::string path = dir + "/d" + std::to_string(rng.Below(10));
+      Status st = fs->Mkdir(path);
+      bool model_ok = model.files.count(path) == 0 && model.dirs.count(path) == 0;
+      EXPECT_EQ(st.ok(), model_ok) << path << " step " << step;
+      if (model_ok) {
+        model.dirs.insert(path);
+        dir_pool.push_back(path);
+      }
+    } else if (op < 6) {  // write
+      if (model.files.empty()) {
+        continue;
+      }
+      auto it = model.files.begin();
+      std::advance(it, rng.Below(model.files.size()));
+      const std::string& path = it->first;
+      auto ino = fs->Lookup(path);
+      ASSERT_TRUE(ino.ok()) << path;
+      uint64_t off = rng.Below(3) * 3000;
+      Bytes data = PatternBytes(rng, 1 + rng.Below(8000));
+      ASSERT_TRUE(fs->Write(*ino, off, data).ok()) << path;
+      Bytes& content = it->second.content;
+      if (content.size() < off + data.size()) {
+        content.resize(off + data.size(), 0);
+      }
+      std::copy(data.begin(), data.end(), content.begin() + off);
+    } else if (op == 6) {  // read & compare
+      if (model.files.empty()) {
+        continue;
+      }
+      auto it = model.files.begin();
+      std::advance(it, rng.Below(model.files.size()));
+      auto ino = fs->Lookup(it->first);
+      ASSERT_TRUE(ino.ok());
+      Bytes back;
+      ASSERT_TRUE(fs->Read(*ino, 0, it->second.content.size() + 100, &back).ok());
+      EXPECT_EQ(back, it->second.content) << it->first << " step " << step;
+    } else if (op == 7) {  // unlink
+      if (model.files.empty()) {
+        continue;
+      }
+      auto it = model.files.begin();
+      std::advance(it, rng.Below(model.files.size()));
+      std::string path = it->first;
+      EXPECT_TRUE(fs->Unlink(path).ok()) << path;
+      model.files.erase(it);
+    } else if (op == 8) {  // truncate
+      if (model.files.empty()) {
+        continue;
+      }
+      auto it = model.files.begin();
+      std::advance(it, rng.Below(model.files.size()));
+      auto ino = fs->Lookup(it->first);
+      ASSERT_TRUE(ino.ok());
+      uint64_t new_size = rng.Below(10000);
+      ASSERT_TRUE(fs->Truncate(*ino, new_size).ok());
+      it->second.content.resize(new_size, 0);
+    } else {  // rename
+      if (model.files.empty()) {
+        continue;
+      }
+      auto it = model.files.begin();
+      std::advance(it, rng.Below(model.files.size()));
+      std::string from = it->first;
+      std::string dir = dir_pool[rng.Below(dir_pool.size())];
+      std::string to = dir + "/r" + std::to_string(rng.Below(30));
+      bool to_is_dir = model.dirs.count(to) > 0;
+      Status st = fs->Rename(from, to);
+      if (to_is_dir) {
+        EXPECT_FALSE(st.ok());
+      } else {
+        EXPECT_TRUE(st.ok()) << from << " -> " << to;
+        if (from != to) {
+          ModelFile moved = it->second;
+          model.files.erase(from);
+          model.files[to] = std::move(moved);
+        }
+      }
+    }
+  }
+
+  // Final verification: every model file matches; every model dir lists the
+  // expected children.
+  for (const auto& [path, file] : model.files) {
+    auto ino = fs->Lookup(path);
+    ASSERT_TRUE(ino.ok()) << path;
+    Bytes back;
+    ASSERT_TRUE(fs->Read(*ino, 0, file.content.size() + 1, &back).ok());
+    EXPECT_EQ(back, file.content) << path;
+  }
+  ASSERT_TRUE(fs->SyncAll().ok());
+  PetalDevice device(cluster.admin_petal(), cluster.vdisk());
+  FsckReport report = RunFsck(&device, cluster.geometry());
+  EXPECT_TRUE(report.ok) << report.Summary();
+  EXPECT_EQ(report.files, model.files.size());
+  EXPECT_EQ(report.directories, model.dirs.size());  // incl. root
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelCheckTest, ::testing::Range(0, 6));
+
+// ---------------------------------------------------------------------------
+// 2. Crash-recovery sweep
+// ---------------------------------------------------------------------------
+
+class CrashRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrashRecoveryTest, CrashRecoverFsckClean) {
+  ClusterOptions copts;
+  copts.petal_servers = 3;
+  copts.disks_per_petal = 1;
+  copts.lease_duration = Duration(300'000);
+  // The victim renews its lease but never flushes its log in the
+  // background: the test controls the durable prefix explicitly.
+  copts.node.renew_period = Duration(50'000);
+  copts.node.log_flush_period = Duration(3600'000'000);
+  copts.node.sync_period = Duration(3600'000'000);
+  Cluster cluster(copts);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto victim_or = cluster.AddFrangipani();
+  ASSERT_TRUE(victim_or.ok());
+  NodeOptions survivor_opts;
+  survivor_opts.renew_period = Duration(50'000);
+  auto survivor_or = cluster.AddFrangipani(survivor_opts);
+  ASSERT_TRUE(survivor_or.ok());
+  FrangipaniFs* victim = (*victim_or)->fs();
+
+  Rng rng(GetParam() * 104729 + 7);
+  // Random workload on the victim. At a random point we flush the log (this
+  // is the durable prefix); ops after that may or may not survive.
+  std::set<std::string> synced_files;
+  int flush_at = static_cast<int>(rng.Below(40));
+  std::set<std::string> current;
+  for (int step = 0; step < 40; ++step) {
+    std::string path = "/c" + std::to_string(rng.Below(20));
+    switch (rng.Below(3)) {
+      case 0:
+        if (victim->Create(path).ok()) {
+          current.insert(path);
+        }
+        break;
+      case 1: {
+        auto ino = victim->Lookup(path);
+        if (ino.ok()) {
+          (void)victim->Write(*ino, rng.Below(2) * 4096, PatternBytes(rng, 2048));
+        }
+        break;
+      }
+      case 2:
+        if (victim->Unlink(path).ok()) {
+          current.erase(path);
+          // A later unlink may itself become durable (freeing blocks forces
+          // a log flush), so the file is no longer guaranteed to survive.
+          synced_files.erase(path);
+        }
+        break;
+    }
+    if (step == flush_at) {
+      ASSERT_TRUE(victim->FlushLog().ok());
+      synced_files = current;  // everything logged so far is recoverable
+    }
+  }
+  // Victim crashes: volatile log tail and dirty cache are gone.
+  ASSERT_TRUE(cluster.CrashFrangipani(0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  cluster.CheckLeases();
+
+  // The survivor triggers recovery by touching the namespace.
+  FrangipaniFs* fs = cluster.fs(1);
+  auto entries = fs->Readdir("/");
+  ASSERT_TRUE(entries.ok()) << entries.status();
+
+  // Everything synced before the flush must exist.
+  for (const std::string& path : synced_files) {
+    EXPECT_TRUE(fs->Stat(path).ok()) << path << " lost after recovery";
+  }
+  ASSERT_TRUE(fs->SyncAll().ok());
+  PetalDevice device(cluster.admin_petal(), cluster.vdisk());
+  FsckReport report = RunFsck(&device, cluster.geometry());
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashRecoveryTest, ::testing::Range(0, 8));
+
+// ---------------------------------------------------------------------------
+// 3. Double recovery is harmless (replay idempotence at the FS level)
+// ---------------------------------------------------------------------------
+
+TEST(DoubleRecoveryTest, ReplayTwiceEqualsOnce) {
+  ClusterOptions copts;
+  copts.petal_servers = 3;
+  copts.disks_per_petal = 1;
+  copts.lease_duration = Duration(300'000);
+  Cluster cluster(copts);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto a = cluster.AddFrangipani();
+  ASSERT_TRUE(a.ok());
+  auto b = cluster.AddFrangipani();
+  ASSERT_TRUE(b.ok());
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.fs(0)->Create("/dup" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(cluster.fs(0)->FlushLog().ok());
+  uint32_t victim_slot = (*a)->slot();
+  ASSERT_TRUE(cluster.CrashFrangipani(0).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  // Recover explicitly, twice (the second replay must be a no-op thanks to
+  // the per-block version numbers; note RecoverSlot erases the log, so we
+  // exercise idempotence by replaying before erasure via the public API on
+  // the survivor twice in a row).
+  ASSERT_TRUE(cluster.fs(1)->RecoverSlot(victim_slot).ok());
+  ASSERT_TRUE(cluster.fs(1)->RecoverSlot(victim_slot).ok());
+
+  auto entries = cluster.fs(1)->Readdir("/");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 12u);
+  ASSERT_TRUE(cluster.fs(1)->SyncAll().ok());
+  PetalDevice device(cluster.admin_petal(), cluster.vdisk());
+  FsckReport report = RunFsck(&device, cluster.geometry());
+  EXPECT_TRUE(report.ok) << report.Summary();
+}
+
+}  // namespace
+}  // namespace frangipani

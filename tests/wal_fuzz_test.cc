@@ -1,0 +1,124 @@
+// Property sweeps over the write-ahead log: random workloads, random
+// corruption, and wraparound must never break recovery's guarantees —
+// (1) parsing never crashes or mis-parses garbage as a record (CRC), and
+// (2) replay applies a prefix-consistent set of updates (versions only move
+// forward, never backward).
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/fs/device.h"
+#include "src/fs/wal.h"
+
+namespace frangipani {
+namespace {
+
+Geometry SmallLogGeometry() {
+  Geometry g;
+  g.log_bytes = 16 * 1024;  // 32 sectors: wraps quickly
+  return g;
+}
+
+class WalFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WalFuzzTest, RandomWorkloadRecoversConsistently) {
+  Rng rng(GetParam() * 2654435761u + 17);
+  Geometry g = SmallLogGeometry();
+  LocalDevice device(1, PhysDiskParams{.timing_enabled = false});
+  LogWriter wal(&device, g, 0, [](uint64_t) { return OkStatus(); }, nullptr);
+
+  // Random metadata updates to a handful of inode blocks. Track the version
+  // each block reaches.
+  std::map<uint64_t, uint64_t> versions;  // addr -> latest version
+  int records = 1 + static_cast<int>(rng.Below(200));
+  for (int i = 0; i < records; ++i) {
+    uint64_t addr = g.InodeAddr(1 + rng.Below(5));
+    LogRecord rec;
+    LogBlockUpdate u;
+    u.addr = addr;
+    u.kind = BlockKind::kInode;
+    u.version = ++versions[addr];
+    LogBlockUpdate::Range r;
+    r.off = 16 + static_cast<uint32_t>(rng.Below(64));
+    r.data = Bytes(1 + rng.Below(200), static_cast<uint8_t>(u.version));
+    u.ranges.push_back(r);
+    rec.updates.push_back(u);
+    wal.Append(std::move(rec));
+    if (rng.OneIn(4)) {
+      ASSERT_TRUE(wal.FlushAll().ok());
+    }
+  }
+  ASSERT_TRUE(wal.FlushAll().ok());
+
+  auto applied = ReplayLog(&device, g, 0, 0);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  // Each block must be at a version <= its final version and >= the oldest
+  // version still in the log window; versions move only forward.
+  for (const auto& [addr, final_version] : versions) {
+    Bytes block;
+    ASSERT_TRUE(device.Read(addr, kInodeSize, &block).ok());
+    uint64_t v = BlockVersionOf(BlockKind::kInode, block);
+    EXPECT_LE(v, final_version);
+  }
+  // Replaying again changes nothing (idempotence).
+  std::map<uint64_t, uint64_t> after_first;
+  for (const auto& [addr, unused] : versions) {
+    Bytes block;
+    ASSERT_TRUE(device.Read(addr, kInodeSize, &block).ok());
+    after_first[addr] = BlockVersionOf(BlockKind::kInode, block);
+  }
+  ASSERT_TRUE(ReplayLog(&device, g, 0, 0).ok());
+  for (const auto& [addr, v] : after_first) {
+    Bytes block;
+    ASSERT_TRUE(device.Read(addr, kInodeSize, &block).ok());
+    EXPECT_EQ(BlockVersionOf(BlockKind::kInode, block), v);
+  }
+}
+
+TEST_P(WalFuzzTest, RandomCorruptionNeverBreaksParsing) {
+  Rng rng(GetParam() * 7919u + 3);
+  Geometry g = SmallLogGeometry();
+  LocalDevice device(1, PhysDiskParams{.timing_enabled = false});
+  LogWriter wal(&device, g, 0, [](uint64_t) { return OkStatus(); }, nullptr);
+  for (int i = 0; i < 30; ++i) {
+    LogRecord rec;
+    LogBlockUpdate u;
+    u.addr = g.InodeAddr(1 + (i % 4));
+    u.kind = BlockKind::kInode;
+    u.version = i + 1;
+    u.ranges.push_back({16, Bytes(64, static_cast<uint8_t>(i))});
+    rec.updates.push_back(u);
+    wal.Append(std::move(rec));
+  }
+  ASSERT_TRUE(wal.FlushAll().ok());
+
+  // Corrupt random bytes of the log region.
+  Bytes region;
+  ASSERT_TRUE(device.Read(g.LogAddr(0), g.log_bytes, &region).ok());
+  int flips = 1 + static_cast<int>(rng.Below(100));
+  for (int i = 0; i < flips; ++i) {
+    region[rng.Below(region.size())] ^= static_cast<uint8_t>(1 + rng.Below(255));
+  }
+  ASSERT_TRUE(device.Write(g.LogAddr(0), region, 0).ok());
+
+  // Parsing must survive and only yield CRC-clean records; replay must not
+  // error out or apply garbage (checked via version monotonicity bounds).
+  auto records = ParseLogStream(region, g.log_bytes / kLogSectorSize);
+  for (const LogRecord& rec : records) {
+    for (const LogBlockUpdate& u : rec.updates) {
+      EXPECT_LE(u.version, 30u);
+      EXPECT_EQ(u.kind, BlockKind::kInode);
+    }
+  }
+  auto applied = ReplayLog(&device, g, 0, 0);
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  for (int i = 1; i <= 4; ++i) {
+    Bytes block;
+    ASSERT_TRUE(device.Read(g.InodeAddr(i), kInodeSize, &block).ok());
+    EXPECT_LE(BlockVersionOf(BlockKind::kInode, block), 30u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WalFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace frangipani
