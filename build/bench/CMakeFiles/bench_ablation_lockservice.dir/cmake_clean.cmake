@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lockservice.dir/bench_ablation_lockservice.cc.o"
+  "CMakeFiles/bench_ablation_lockservice.dir/bench_ablation_lockservice.cc.o.d"
+  "bench_ablation_lockservice"
+  "bench_ablation_lockservice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lockservice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

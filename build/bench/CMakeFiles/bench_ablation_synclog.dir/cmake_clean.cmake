@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_synclog.dir/bench_ablation_synclog.cc.o"
+  "CMakeFiles/bench_ablation_synclog.dir/bench_ablation_synclog.cc.o.d"
+  "bench_ablation_synclog"
+  "bench_ablation_synclog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_synclog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

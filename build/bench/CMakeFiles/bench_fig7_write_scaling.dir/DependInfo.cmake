@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_write_scaling.cc" "bench/CMakeFiles/bench_fig7_write_scaling.dir/bench_fig7_write_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_fig7_write_scaling.dir/bench_fig7_write_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/fgp_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/fgp_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/fgp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/fgp_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/fgp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/petal/CMakeFiles/fgp_petal.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/fgp_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_rw_contention.dir/bench_fig8_rw_contention.cc.o"
+  "CMakeFiles/bench_fig8_rw_contention.dir/bench_fig8_rw_contention.cc.o.d"
+  "bench_fig8_rw_contention"
+  "bench_fig8_rw_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_rw_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mab.dir/bench_table1_mab.cc.o"
+  "CMakeFiles/bench_table1_mab.dir/bench_table1_mab.cc.o.d"
+  "bench_table1_mab"
+  "bench_table1_mab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/fgp_bench_harness.dir/harness.cc.o.d"
+  "libfgp_bench_harness.a"
+  "libfgp_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgpdump.dir/fgpdump.cpp.o"
+  "CMakeFiles/fgpdump.dir/fgpdump.cpp.o.d"
+  "fgpdump"
+  "fgpdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgpdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fgpdump.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsshell.dir/fsshell.cpp.o"
+  "CMakeFiles/fsshell.dir/fsshell.cpp.o.d"
+  "fsshell"
+  "fsshell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsshell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

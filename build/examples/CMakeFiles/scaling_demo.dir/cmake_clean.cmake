@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaling_demo.dir/scaling_demo.cpp.o"
+  "CMakeFiles/scaling_demo.dir/scaling_demo.cpp.o.d"
+  "scaling_demo"
+  "scaling_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

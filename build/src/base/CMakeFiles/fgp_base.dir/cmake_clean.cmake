@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_base.dir/clock.cc.o"
+  "CMakeFiles/fgp_base.dir/clock.cc.o.d"
+  "CMakeFiles/fgp_base.dir/crc32.cc.o"
+  "CMakeFiles/fgp_base.dir/crc32.cc.o.d"
+  "CMakeFiles/fgp_base.dir/logging.cc.o"
+  "CMakeFiles/fgp_base.dir/logging.cc.o.d"
+  "CMakeFiles/fgp_base.dir/rate_limiter.cc.o"
+  "CMakeFiles/fgp_base.dir/rate_limiter.cc.o.d"
+  "CMakeFiles/fgp_base.dir/status.cc.o"
+  "CMakeFiles/fgp_base.dir/status.cc.o.d"
+  "CMakeFiles/fgp_base.dir/thread_pool.cc.o"
+  "CMakeFiles/fgp_base.dir/thread_pool.cc.o.d"
+  "libfgp_base.a"
+  "libfgp_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

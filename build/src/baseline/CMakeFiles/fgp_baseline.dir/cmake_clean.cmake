@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_baseline.dir/advfs_like.cc.o"
+  "CMakeFiles/fgp_baseline.dir/advfs_like.cc.o.d"
+  "libfgp_baseline.a"
+  "libfgp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

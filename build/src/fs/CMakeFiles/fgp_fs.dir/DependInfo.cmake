@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/alloc.cc" "src/fs/CMakeFiles/fgp_fs.dir/alloc.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/alloc.cc.o.d"
+  "/root/repo/src/fs/backup.cc" "src/fs/CMakeFiles/fgp_fs.dir/backup.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/backup.cc.o.d"
+  "/root/repo/src/fs/block_cache.cc" "src/fs/CMakeFiles/fgp_fs.dir/block_cache.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/block_cache.cc.o.d"
+  "/root/repo/src/fs/device.cc" "src/fs/CMakeFiles/fgp_fs.dir/device.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/device.cc.o.d"
+  "/root/repo/src/fs/dir.cc" "src/fs/CMakeFiles/fgp_fs.dir/dir.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/dir.cc.o.d"
+  "/root/repo/src/fs/frangipani_fs.cc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs.cc.o.d"
+  "/root/repo/src/fs/frangipani_fs_data.cc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs_data.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs_data.cc.o.d"
+  "/root/repo/src/fs/frangipani_fs_ops.cc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs_ops.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/frangipani_fs_ops.cc.o.d"
+  "/root/repo/src/fs/fsck.cc" "src/fs/CMakeFiles/fgp_fs.dir/fsck.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/fsck.cc.o.d"
+  "/root/repo/src/fs/inode.cc" "src/fs/CMakeFiles/fgp_fs.dir/inode.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/inode.cc.o.d"
+  "/root/repo/src/fs/layout.cc" "src/fs/CMakeFiles/fgp_fs.dir/layout.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/layout.cc.o.d"
+  "/root/repo/src/fs/lock_provider.cc" "src/fs/CMakeFiles/fgp_fs.dir/lock_provider.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/lock_provider.cc.o.d"
+  "/root/repo/src/fs/wal.cc" "src/fs/CMakeFiles/fgp_fs.dir/wal.cc.o" "gcc" "src/fs/CMakeFiles/fgp_fs.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/petal/CMakeFiles/fgp_petal.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/fgp_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/fgp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

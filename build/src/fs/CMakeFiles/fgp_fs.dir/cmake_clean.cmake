@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_fs.dir/alloc.cc.o"
+  "CMakeFiles/fgp_fs.dir/alloc.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/backup.cc.o"
+  "CMakeFiles/fgp_fs.dir/backup.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/block_cache.cc.o"
+  "CMakeFiles/fgp_fs.dir/block_cache.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/device.cc.o"
+  "CMakeFiles/fgp_fs.dir/device.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/dir.cc.o"
+  "CMakeFiles/fgp_fs.dir/dir.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs.cc.o"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs_data.cc.o"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs_data.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs_ops.cc.o"
+  "CMakeFiles/fgp_fs.dir/frangipani_fs_ops.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/fsck.cc.o"
+  "CMakeFiles/fgp_fs.dir/fsck.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/inode.cc.o"
+  "CMakeFiles/fgp_fs.dir/inode.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/layout.cc.o"
+  "CMakeFiles/fgp_fs.dir/layout.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/lock_provider.cc.o"
+  "CMakeFiles/fgp_fs.dir/lock_provider.cc.o.d"
+  "CMakeFiles/fgp_fs.dir/wal.cc.o"
+  "CMakeFiles/fgp_fs.dir/wal.cc.o.d"
+  "libfgp_fs.a"
+  "libfgp_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/centralized_server.cc" "src/lock/CMakeFiles/fgp_lock.dir/centralized_server.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/centralized_server.cc.o.d"
+  "/root/repo/src/lock/clerk.cc" "src/lock/CMakeFiles/fgp_lock.dir/clerk.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/clerk.cc.o.d"
+  "/root/repo/src/lock/dist_server.cc" "src/lock/CMakeFiles/fgp_lock.dir/dist_server.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/dist_server.cc.o.d"
+  "/root/repo/src/lock/lock_core.cc" "src/lock/CMakeFiles/fgp_lock.dir/lock_core.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/lock_core.cc.o.d"
+  "/root/repo/src/lock/primary_backup_server.cc" "src/lock/CMakeFiles/fgp_lock.dir/primary_backup_server.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/primary_backup_server.cc.o.d"
+  "/root/repo/src/lock/router.cc" "src/lock/CMakeFiles/fgp_lock.dir/router.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/router.cc.o.d"
+  "/root/repo/src/lock/slot_table.cc" "src/lock/CMakeFiles/fgp_lock.dir/slot_table.cc.o" "gcc" "src/lock/CMakeFiles/fgp_lock.dir/slot_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/fgp_paxos.dir/DependInfo.cmake"
+  "/root/repo/build/src/petal/CMakeFiles/fgp_petal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_lock.dir/centralized_server.cc.o"
+  "CMakeFiles/fgp_lock.dir/centralized_server.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/clerk.cc.o"
+  "CMakeFiles/fgp_lock.dir/clerk.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/dist_server.cc.o"
+  "CMakeFiles/fgp_lock.dir/dist_server.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/lock_core.cc.o"
+  "CMakeFiles/fgp_lock.dir/lock_core.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/primary_backup_server.cc.o"
+  "CMakeFiles/fgp_lock.dir/primary_backup_server.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/router.cc.o"
+  "CMakeFiles/fgp_lock.dir/router.cc.o.d"
+  "CMakeFiles/fgp_lock.dir/slot_table.cc.o"
+  "CMakeFiles/fgp_lock.dir/slot_table.cc.o.d"
+  "libfgp_lock.a"
+  "libfgp_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_net.dir/network.cc.o"
+  "CMakeFiles/fgp_net.dir/network.cc.o.d"
+  "libfgp_net.a"
+  "libfgp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

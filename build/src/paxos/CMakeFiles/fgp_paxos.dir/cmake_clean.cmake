@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_paxos.dir/paxos.cc.o"
+  "CMakeFiles/fgp_paxos.dir/paxos.cc.o.d"
+  "libfgp_paxos.a"
+  "libfgp_paxos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_paxos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/petal/global_map.cc" "src/petal/CMakeFiles/fgp_petal.dir/global_map.cc.o" "gcc" "src/petal/CMakeFiles/fgp_petal.dir/global_map.cc.o.d"
+  "/root/repo/src/petal/petal_client.cc" "src/petal/CMakeFiles/fgp_petal.dir/petal_client.cc.o" "gcc" "src/petal/CMakeFiles/fgp_petal.dir/petal_client.cc.o.d"
+  "/root/repo/src/petal/petal_server.cc" "src/petal/CMakeFiles/fgp_petal.dir/petal_server.cc.o" "gcc" "src/petal/CMakeFiles/fgp_petal.dir/petal_server.cc.o.d"
+  "/root/repo/src/petal/phys_disk.cc" "src/petal/CMakeFiles/fgp_petal.dir/phys_disk.cc.o" "gcc" "src/petal/CMakeFiles/fgp_petal.dir/phys_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fgp_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fgp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/paxos/CMakeFiles/fgp_paxos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

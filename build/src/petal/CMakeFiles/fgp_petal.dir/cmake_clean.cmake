@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_petal.dir/global_map.cc.o"
+  "CMakeFiles/fgp_petal.dir/global_map.cc.o.d"
+  "CMakeFiles/fgp_petal.dir/petal_client.cc.o"
+  "CMakeFiles/fgp_petal.dir/petal_client.cc.o.d"
+  "CMakeFiles/fgp_petal.dir/petal_server.cc.o"
+  "CMakeFiles/fgp_petal.dir/petal_server.cc.o.d"
+  "CMakeFiles/fgp_petal.dir/phys_disk.cc.o"
+  "CMakeFiles/fgp_petal.dir/phys_disk.cc.o.d"
+  "libfgp_petal.a"
+  "libfgp_petal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_petal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

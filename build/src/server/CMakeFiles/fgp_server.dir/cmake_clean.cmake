@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fgp_server.dir/cluster.cc.o"
+  "CMakeFiles/fgp_server.dir/cluster.cc.o.d"
+  "CMakeFiles/fgp_server.dir/node.cc.o"
+  "CMakeFiles/fgp_server.dir/node.cc.o.d"
+  "libfgp_server.a"
+  "libfgp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fgp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

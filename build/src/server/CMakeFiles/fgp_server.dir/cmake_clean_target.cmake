@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfgp_server.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_alloc_test.dir/dir_alloc_test.cc.o"
+  "CMakeFiles/dir_alloc_test.dir/dir_alloc_test.cc.o.d"
+  "dir_alloc_test"
+  "dir_alloc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

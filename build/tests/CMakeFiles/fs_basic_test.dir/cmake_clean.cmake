@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_basic_test.dir/fs_basic_test.cc.o"
+  "CMakeFiles/fs_basic_test.dir/fs_basic_test.cc.o.d"
+  "fs_basic_test"
+  "fs_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

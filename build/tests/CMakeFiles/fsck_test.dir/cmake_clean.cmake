@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsck_test.dir/fsck_test.cc.o"
+  "CMakeFiles/fsck_test.dir/fsck_test.cc.o.d"
+  "fsck_test"
+  "fsck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_core_test.dir/lock_core_test.cc.o"
+  "CMakeFiles/lock_core_test.dir/lock_core_test.cc.o.d"
+  "lock_core_test"
+  "lock_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

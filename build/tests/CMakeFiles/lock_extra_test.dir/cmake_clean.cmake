@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_extra_test.dir/lock_extra_test.cc.o"
+  "CMakeFiles/lock_extra_test.dir/lock_extra_test.cc.o.d"
+  "lock_extra_test"
+  "lock_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_model_test.dir/multi_model_test.cc.o"
+  "CMakeFiles/multi_model_test.dir/multi_model_test.cc.o.d"
+  "multi_model_test"
+  "multi_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

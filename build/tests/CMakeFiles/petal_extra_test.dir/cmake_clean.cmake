@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_extra_test.dir/petal_extra_test.cc.o"
+  "CMakeFiles/petal_extra_test.dir/petal_extra_test.cc.o.d"
+  "petal_extra_test"
+  "petal_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

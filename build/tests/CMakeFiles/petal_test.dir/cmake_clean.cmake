@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/petal_test.dir/petal_test.cc.o"
+  "CMakeFiles/petal_test.dir/petal_test.cc.o.d"
+  "petal_test"
+  "petal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/petal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_fuzz_test.dir/wal_fuzz_test.cc.o"
+  "CMakeFiles/wal_fuzz_test.dir/wal_fuzz_test.cc.o.d"
+  "wal_fuzz_test"
+  "wal_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
