@@ -123,6 +123,30 @@ void BM_Rename(benchmark::State& state) {
   }
 }
 
+void BM_ReadWarm64K(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  auto ino = env->fs->Create(Fresh(env, "rw"));
+  (void)env->fs->Write(*ino, 0, Bytes(64 * 1024, 0x5A));
+  Bytes buf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env->fs->Read(*ino, 0, 64 * 1024, &buf));
+  }
+}
+
+void BM_ReadCold64K(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  auto ino = env->fs->Create(Fresh(env, "rc"));
+  (void)env->fs->Write(*ino, 0, Bytes(64 * 1024, 0x5A));
+  (void)env->fs->Fsync(*ino);
+  Bytes buf;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)env->fs->DropCaches();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(env->fs->Read(*ino, 0, 64 * 1024, &buf));
+  }
+}
+
 void BM_AppendFsync1K(benchmark::State& state) {
   Env* env = GetEnv(state.range(0), state.range(1));
   auto ino = env->fs->Create(Fresh(env, "a"));
@@ -169,9 +193,14 @@ int main(int argc, char** argv) {
   Register("StatCold", BM_StatCold);
   Register("Symlink", BM_Symlink);
   Register("Rename", BM_Rename);
+  Register("ReadWarm64K", BM_ReadWarm64K);
+  Register("ReadCold64K", BM_ReadCold64K);
   Register("AppendFsync1K", BM_AppendFsync1K);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Per-op / per-layer latency breakdowns accumulated by the tracing layer
+  // during the run above.
+  WriteMetricsJson("table2_ops");
   return 0;
 }

@@ -10,6 +10,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/obs/metrics.h"
+
 namespace frangipani {
 namespace bench {
 
@@ -189,6 +191,15 @@ void WriteCsv(const std::string& name, const std::string& header,
     out << row << "\n";
   }
   std::printf("[csv written to %s]\n", path.c_str());
+  WriteMetricsJson(name);
+}
+
+void WriteMetricsJson(const std::string& name) {
+  std::filesystem::create_directories("bench_results");
+  std::string path = "bench_results/" + name + ".metrics.json";
+  std::ofstream out(path, std::ios::trunc);
+  out << obs::MetricsRegistry::Default()->ExportJson() << "\n";
+  std::printf("[metrics written to %s]\n", path.c_str());
 }
 
 }  // namespace bench

@@ -76,8 +76,15 @@ class CpuMeter {
 
 // ---- output ----
 // Appends rows to bench_results/<name>.csv (header written on create).
+// Also drops a metrics sidecar next to the CSV (see WriteMetricsJson).
 void WriteCsv(const std::string& name, const std::string& header,
               const std::vector<std::string>& rows);
+
+// Dumps the process-wide metrics registry (per-op latency breakdowns,
+// per-layer histograms, per-node net counters) to
+// bench_results/<name>.metrics.json so results can be correlated with the
+// benchmark's CSV offline.
+void WriteMetricsJson(const std::string& name);
 
 double NowSeconds();
 

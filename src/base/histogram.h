@@ -1,65 +1,144 @@
-// Simple latency/throughput statistics accumulator for the bench harnesses.
+// Latency/throughput statistics accumulator shared by the bench harnesses
+// and the metrics registry (src/obs/).
+//
+// Fixed log-bucket layout: each power-of-two octave is split into 32 linear
+// sub-buckets (~3% relative resolution). Record is wait-free (one relaxed
+// fetch_add per bucket plus CAS loops for the exact sum/max), so the class
+// is safe to hammer from every IO thread; Mean and Max are exact; Percentile
+// scans the bucket array once and interpolates inside the winning bucket.
 #ifndef SRC_BASE_HISTOGRAM_H_
 #define SRC_BASE_HISTOGRAM_H_
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <vector>
+#include <limits>
 
 namespace frangipani {
 
 class Histogram {
  public:
+  static constexpr int kSubBuckets = 32;   // linear sub-buckets per octave
+  static constexpr int kMinOctave = -16;   // smaller positive values clamp here
+  static constexpr int kMaxOctave = 47;    // larger values clamp here
+  static constexpr int kNumBuckets = (kMaxOctave - kMinOctave + 1) * kSubBuckets;
+
   void Record(double v) {
-    std::lock_guard<std::mutex> guard(mu_);
-    samples_.push_back(v);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    AtomicAdd(sum_, v);
+    AtomicMax(max_, v);
+    if (v > 0 && std::isfinite(v)) {
+      buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    } else {
+      nonpositive_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
-  size_t count() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return samples_.size();
-  }
+  size_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
 
   double Mean() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (samples_.empty()) {
+    uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) {
       return 0;
     }
-    double sum = 0;
-    for (double v : samples_) {
-      sum += v;
-    }
-    return sum / static_cast<double>(samples_.size());
+    return sum_.load(std::memory_order_relaxed) / static_cast<double>(n);
   }
 
+  // Same index convention as a sorted-sample lookup: the value of the
+  // floor(p * (count - 1))-th sample, interpolated within its bucket.
   double Percentile(double p) const {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (samples_.empty()) {
+    uint64_t n = count_.load(std::memory_order_relaxed);
+    if (n == 0) {
       return 0;
     }
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
-    size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-    return sorted[idx];
+    p = std::clamp(p, 0.0, 1.0);
+    uint64_t idx = static_cast<uint64_t>(p * static_cast<double>(n - 1));
+    uint64_t before = nonpositive_.load(std::memory_order_relaxed);
+    if (idx < before) {
+      return 0;
+    }
+    for (int i = 0; i < kNumBuckets; ++i) {
+      uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c == 0) {
+        continue;
+      }
+      if (idx < before + c) {
+        double lo = BucketLower(i);
+        double hi = BucketLower(i + 1);
+        double frac = (static_cast<double>(idx - before) + 0.5) / static_cast<double>(c);
+        return std::min(lo + frac * (hi - lo), Max());
+      }
+      before += c;
+    }
+    return Max();
   }
 
   double Max() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    if (samples_.empty()) {
-      return 0;
-    }
-    return *std::max_element(samples_.begin(), samples_.end());
+    return count_.load(std::memory_order_relaxed) == 0
+               ? 0
+               : max_.load(std::memory_order_relaxed);
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> guard(mu_);
-    samples_.clear();
+    count_.store(0, std::memory_order_relaxed);
+    nonpositive_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(std::numeric_limits<double>::lowest(), std::memory_order_relaxed);
+    for (auto& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+  // Lower bound of bucket `index`; BucketLower(kNumBuckets) is the overall
+  // upper edge. Exposed for exporters that want the raw distribution.
+  static double BucketLower(int index) {
+    int octave = index / kSubBuckets + kMinOctave;
+    int sub = index % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+  }
+
+  uint64_t BucketCount(int index) const {
+    return buckets_[index].load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<double> samples_;
+  static int BucketIndex(double v) {
+    int exp = 0;
+    double frac = std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+    int octave = exp - 1;               // v / 2^octave in [1, 2)
+    if (octave < kMinOctave) {
+      return 0;
+    }
+    if (octave > kMaxOctave) {
+      return kNumBuckets - 1;
+    }
+    int sub = static_cast<int>((frac * 2.0 - 1.0) * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return (octave - kMinOctave) * kSubBuckets + sub;
+  }
+
+  static void AtomicAdd(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+    }
+  }
+
+  static void AtomicMax(std::atomic<double>& a, double v) {
+    double cur = a.load(std::memory_order_relaxed);
+    while (cur < v && !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> nonpositive_{0};  // v <= 0: sorts before bucket 0
+  std::atomic<double> sum_{0};
+  std::atomic<double> max_{std::numeric_limits<double>::lowest()};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
 };
 
 }  // namespace frangipani

@@ -1,5 +1,6 @@
 #include "src/base/logging.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -26,6 +27,19 @@ LogLevel ParseEnvLevel() {
 LogLevel g_min_level = ParseEnvLevel();
 std::mutex g_log_mu;
 
+// Small per-thread ids (dense, in order of first log line) read better than
+// raw std::thread::id hashes when eyeballing interleaved output.
+std::atomic<int> g_next_thread_id{0};
+thread_local int t_thread_id = -1;
+thread_local std::string t_node_tag;
+
+int ThreadId() {
+  if (t_thread_id < 0) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
 const char* LevelTag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -45,6 +59,7 @@ const char* LevelTag(LogLevel level) {
 
 LogLevel MinLogLevel() { return g_min_level; }
 void SetMinLogLevel(LogLevel level) { g_min_level = level; }
+void SetLogNodeTag(std::string_view tag) { t_node_tag.assign(tag.data(), tag.size()); }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = std::strrchr(file, '/');
@@ -56,8 +71,14 @@ LogMessage::~LogMessage() {
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   double t = std::chrono::duration<double>(Clock::now() - start).count();
+  int tid = ThreadId();
   std::lock_guard<std::mutex> guard(g_log_mu);
-  std::fprintf(stderr, "%9.4f %s\n", t, stream_.str().c_str());
+  if (t_node_tag.empty()) {
+    std::fprintf(stderr, "%9.4f T%02d %s\n", t, tid, stream_.str().c_str());
+  } else {
+    std::fprintf(stderr, "%9.4f T%02d [%s] %s\n", t, tid, t_node_tag.c_str(),
+                 stream_.str().c_str());
+  }
   if (level_ == LogLevel::kError && stream_.str().find("CHECK failed") != std::string::npos) {
     std::fflush(stderr);
     std::abort();

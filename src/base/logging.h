@@ -1,5 +1,10 @@
 // Minimal leveled logging. FLOG(INFO) << "..."; level filtered by
 // SetMinLogLevel or the FRANGIPANI_LOG env var (debug|info|warn|error|off).
+//
+// Each line carries a monotonic timestamp (seconds since process start), a
+// small per-thread id, and — when the thread has called SetLogNodeTag — the
+// simulated node it is working on behalf of, e.g.:
+//   12.0417 T03 [frangipani0] I [clerk.cc:120] lock 17 granted
 #ifndef SRC_BASE_LOGGING_H_
 #define SRC_BASE_LOGGING_H_
 
@@ -19,6 +24,11 @@ enum class LogLevel : int {
 
 LogLevel MinLogLevel();
 void SetMinLogLevel(LogLevel level);
+
+// Tags the calling thread's log lines with a node name (thread-local; pass
+// an empty view to clear). Simulated nodes share threads, so this is best
+// set at the top of long-running per-node work (demons, server loops).
+void SetLogNodeTag(std::string_view tag);
 
 class LogMessage {
  public:

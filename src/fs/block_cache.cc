@@ -13,6 +13,9 @@ BlockCache::BlockCache(BlockDevice* device, LogWriter* wal, BlockCacheOptions op
       wal_(wal),
       options_(options),
       lease_expiry_us_(std::move(lease_expiry_us)) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  m_hits_ = reg->GetCounter("fs.cache.hits");
+  m_misses_ = reg->GetCounter("fs.cache.misses");
   io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
 }
 
@@ -26,10 +29,12 @@ StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock) {
     auto it = entries_.find(addr);
     if (it != entries_.end()) {
       ++hits_;
+      m_hits_->Increment();
       it->second.lru_seq = ++lru_counter_;
       return it->second.data;
     }
     ++misses_;
+    m_misses_->Increment();
   }
   Bytes data;
   RETURN_IF_ERROR(device_->Read(addr, size, &data));

@@ -29,6 +29,7 @@
 #include "src/fs/device.h"
 #include "src/fs/wal.h"
 #include "src/lock/types.h"
+#include "src/obs/metrics.h"
 
 namespace frangipani {
 
@@ -126,6 +127,9 @@ class BlockCache {
   uint64_t lru_counter_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  // Registry aggregates (process-wide, across all fs instances).
+  obs::Counter* m_hits_;
+  obs::Counter* m_misses_;
 
   std::unique_ptr<ThreadPool> io_pool_;
 };

@@ -116,10 +116,7 @@ Status FrangipaniFs::MetaTxn::Commit() {
   }
   RETURN_IF_ERROR(fs_->CheckWriteLease());
   uint64_t lsn = fs_->wal_->Append(std::move(record));
-  {
-    std::lock_guard<std::mutex> guard(fs_->stats_mu_);
-    fs_->stats_.log_records++;
-  }
+  fs_->stats_.log_records.fetch_add(1, std::memory_order_relaxed);
   for (auto& [addr, b] : blocks_) {
     if (!b.whole && b.ranges.empty()) {
       continue;
@@ -136,9 +133,30 @@ Status FrangipaniFs::MetaTxn::Commit() {
 // Construction / mkfs / mount
 // ---------------------------------------------------------------------------
 
+FrangipaniFs::OpMetricsTable::OpMetricsTable(obs::MetricsRegistry* r)
+    : create(obs::OpMetrics::For(r, "create")),
+      mkdir(obs::OpMetrics::For(r, "mkdir")),
+      symlink(obs::OpMetrics::For(r, "symlink")),
+      link(obs::OpMetrics::For(r, "link")),
+      unlink(obs::OpMetrics::For(r, "unlink")),
+      rmdir(obs::OpMetrics::For(r, "rmdir")),
+      rename(obs::OpMetrics::For(r, "rename")),
+      lookup(obs::OpMetrics::For(r, "lookup")),
+      stat(obs::OpMetrics::For(r, "stat")),
+      readlink(obs::OpMetrics::For(r, "readlink")),
+      readdir(obs::OpMetrics::For(r, "readdir")),
+      read(obs::OpMetrics::For(r, "read")),
+      write(obs::OpMetrics::For(r, "write")),
+      truncate(obs::OpMetrics::For(r, "truncate")),
+      fsync(obs::OpMetrics::For(r, "fsync")) {}
+
 FrangipaniFs::FrangipaniFs(BlockDevice* device, LockProvider* locks, Clock* clock,
                            FsOptions options)
-    : device_(device), locks_(locks), clock_(clock), options_(options) {
+    : device_(device),
+      locks_(locks),
+      clock_(clock),
+      options_(options),
+      op_metrics_(obs::MetricsRegistry::Default()) {
   readahead_on_.store(options_.readahead_enabled);
 }
 
@@ -257,13 +275,17 @@ int64_t FrangipaniFs::NowUs() const {
 }
 
 void FrangipaniFs::NoteRetry() {
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  stats_.retries++;
+  stats_.retries.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()->GetCounter("fs.retries")->Increment();
 }
 
 FsStats FrangipaniFs::Stats() const {
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  FsStats s = stats_;
+  FsStats s;
+  s.operations = stats_.operations.load(std::memory_order_relaxed);
+  s.retries = stats_.retries.load(std::memory_order_relaxed);
+  s.log_records = stats_.log_records.load(std::memory_order_relaxed);
+  s.prefetches = stats_.prefetches.load(std::memory_order_relaxed);
+  s.prefetch_wasted = stats_.prefetch_wasted.load(std::memory_order_relaxed);
   if (cache_) {
     s.cache_hits = cache_->hits();
     s.cache_misses = cache_->misses();

@@ -38,6 +38,7 @@
 #include "src/fs/layout.h"
 #include "src/fs/lock_provider.h"
 #include "src/fs/wal.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
 
@@ -245,8 +246,26 @@ class FrangipaniFs {
   std::mutex atime_mu_;
   std::map<uint64_t, int64_t> atime_overlay_;  // §2.1: approximate atime
 
-  mutable std::mutex stats_mu_;
-  FsStats stats_;
+  // Per-instance op counts, lock-free (cache hits/misses live in the cache).
+  // The cross-instance aggregate view lives in the obs metrics registry.
+  struct AtomicStats {
+    std::atomic<uint64_t> operations{0};
+    std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> log_records{0};
+    std::atomic<uint64_t> prefetches{0};
+    std::atomic<uint64_t> prefetch_wasted{0};
+  };
+  AtomicStats stats_;
+
+  // Pre-resolved registry handles for the traced public ops; names are
+  // global (op.<name>.*), so instances on every node feed the same series.
+  struct OpMetricsTable {
+    obs::OpMetrics create, mkdir, symlink, link, unlink, rmdir, rename;
+    obs::OpMetrics lookup, stat, readlink, readdir;
+    obs::OpMetrics read, write, truncate, fsync;
+    explicit OpMetricsTable(obs::MetricsRegistry* r);
+  };
+  OpMetricsTable op_metrics_;
 };
 
 // Parses a path into components; rejects empty names and names over the

@@ -19,6 +19,7 @@ constexpr int kAllocKindLarge = 2;
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
+  obs::OpTrace trace(&op_metrics_.write);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -127,8 +128,7 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
       continue;
     }
     RETURN_IF_ERROR(st);
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("write: too many conflicts");
@@ -139,6 +139,7 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
 // ---------------------------------------------------------------------------
 
 StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length, Bytes* out) {
+  obs::OpTrace trace(&op_metrics_.read);
   RETURN_IF_ERROR(CheckUsable());
   out->clear();
   Inode snapshot;
@@ -175,10 +176,7 @@ StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length
     std::lock_guard<std::mutex> guard(atime_mu_);
     atime_overlay_[ino] = NowUs();
   }
-  {
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
-  }
+  stats_.operations.fetch_add(1, std::memory_order_relaxed);
   return out->size();
 }
 
@@ -215,10 +213,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
       continue;  // already cached or being prefetched
     }
     uint64_t epoch = cache_->LockEpoch(lock);
-    {
-      std::lock_guard<std::mutex> guard(stats_mu_);
-      stats_.prefetches++;
-    }
+    stats_.prefetches.fetch_add(1, std::memory_order_relaxed);
     prefetch_pool_->Submit([this, unit_addr, unit, lock, epoch] {
       Bytes data;
       if (!device_->Read(unit_addr, unit, &data).ok()) {
@@ -228,8 +223,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
       if (cache_->LockEpoch(lock) != epoch) {
         // The lock was revoked while we prefetched: wasted work (Figure 8).
         cache_->EndPrefetch(unit_addr, lock);
-        std::lock_guard<std::mutex> guard(stats_mu_);
-        stats_.prefetch_wasted++;
+        stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       cache_->PutPrefetched(unit_addr, std::move(data), lock, epoch);
@@ -243,6 +237,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
+  obs::OpTrace trace(&op_metrics_.truncate);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -360,8 +355,7 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
     if (freed_large) {
       (void)DecommitFileData(before);
     }
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("truncate: too many conflicts");
@@ -372,14 +366,14 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Fsync(uint64_t ino) {
+  obs::OpTrace trace(&op_metrics_.fsync);
   RETURN_IF_ERROR(CheckUsable());
   RETURN_IF_ERROR(CheckWriteLease());
   // Flush the log (making this file's metadata updates recoverable) and the
   // file's dirty blocks.
   RETURN_IF_ERROR(wal_->FlushAll());
   RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(ino)));
-  std::lock_guard<std::mutex> guard(stats_mu_);
-  stats_.operations++;
+  stats_.operations.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
 

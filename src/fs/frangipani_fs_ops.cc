@@ -21,6 +21,7 @@ constexpr int kAllocKindLarge = 2;
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> FrangipaniFs::Create(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.create);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -89,10 +90,7 @@ StatusOr<uint64_t> FrangipaniFs::Create(const std::string& path) {
       continue;
     }
     RETURN_IF_ERROR(st);
-    {
-      std::lock_guard<std::mutex> guard(stats_mu_);
-      stats_.operations++;
-    }
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return created;
   }
   return Aborted("create: too many conflicts");
@@ -117,6 +115,7 @@ Status InitNewInode(Inode* node, FileType type, const std::string& symlink_targe
 }  // namespace
 
 Status FrangipaniFs::Mkdir(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.mkdir);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -178,14 +177,14 @@ Status FrangipaniFs::Mkdir(const std::string& path) {
       continue;
     }
     RETURN_IF_ERROR(st);
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("mkdir: too many conflicts");
 }
 
 Status FrangipaniFs::Symlink(const std::string& target, const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.symlink);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -246,14 +245,14 @@ Status FrangipaniFs::Symlink(const std::string& target, const std::string& path)
       continue;
     }
     RETURN_IF_ERROR(st);
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("symlink: too many conflicts");
 }
 
 Status FrangipaniFs::Link(const std::string& existing, const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.link);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -307,8 +306,7 @@ Status FrangipaniFs::Link(const std::string& existing, const std::string& path) 
       continue;
     }
     RETURN_IF_ERROR(st);
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("link: too many conflicts");
@@ -415,21 +413,28 @@ Status FrangipaniFs::RemoveCommon(const std::string& path, bool dir_expected) {
       std::lock_guard<std::mutex> guard(ra_mu_);
       ra_last_end_.erase(t.ino);
     }
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("remove: too many conflicts");
 }
 
-Status FrangipaniFs::Unlink(const std::string& path) { return RemoveCommon(path, false); }
-Status FrangipaniFs::Rmdir(const std::string& path) { return RemoveCommon(path, true); }
+Status FrangipaniFs::Unlink(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.unlink);
+  return RemoveCommon(path, false);
+}
+
+Status FrangipaniFs::Rmdir(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.rmdir);
+  return RemoveCommon(path, true);
+}
 
 // ---------------------------------------------------------------------------
 // Rename
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
+  obs::OpTrace trace(&op_metrics_.rename);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -562,8 +567,7 @@ Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
     if (replaced) {
       (void)DecommitFileData(replaced_inode);
     }
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    stats_.operations++;
+    stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
   }
   return Aborted("rename: too many conflicts");
@@ -574,11 +578,14 @@ Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> FrangipaniFs::Lookup(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.lookup);
   RETURN_IF_ERROR(CheckUsable());
   return ResolveIno(path, /*follow_leaf=*/true);
 }
 
 StatusOr<FileAttr> FrangipaniFs::StatIno(uint64_t ino) {
+  // No-op when called from Stat (the outer trace keeps accumulating).
+  obs::OpTrace trace(&op_metrics_.stat);
   RETURN_IF_ERROR(CheckUsable());
   FileAttr attr;
   Status st = WithLocks({{InodeLockId(ino), LockMode::kShared}}, [&]() -> Status {
@@ -607,12 +614,14 @@ StatusOr<FileAttr> FrangipaniFs::StatIno(uint64_t ino) {
 }
 
 StatusOr<FileAttr> FrangipaniFs::Stat(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.stat);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/false));
   return StatIno(ino);
 }
 
 StatusOr<std::string> FrangipaniFs::Readlink(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.readlink);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/false));
   std::string target;
@@ -629,6 +638,7 @@ StatusOr<std::string> FrangipaniFs::Readlink(const std::string& path) {
 }
 
 StatusOr<std::vector<DirEntry>> FrangipaniFs::Readdir(const std::string& path) {
+  obs::OpTrace trace(&op_metrics_.readdir);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/true));
   std::vector<DirEntry> entries;

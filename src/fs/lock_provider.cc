@@ -1,11 +1,14 @@
 #include "src/fs/lock_provider.h"
 
+#include "src/obs/trace.h"
+
 namespace frangipani {
 
 // A lock is either write-held (one holder) or read-held (many); Release
 // infers which side to drop from the entry state, which is unambiguous
 // because the two are mutually exclusive.
 Status LocalLocks::Acquire(LockId lock, LockMode mode) {
+  obs::LayerTimer timer(obs::Layer::kLock);
   std::unique_lock<std::mutex> lk(mu_);
   if (mode == LockMode::kExclusive) {
     cv_.wait(lk, [&] {

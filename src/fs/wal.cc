@@ -112,9 +112,15 @@ LogWriter::LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slo
       slot_(slot),
       num_sectors_(geometry.log_bytes / kLogSectorSize),
       reclaim_(std::move(reclaim)),
-      lease_expiry_us_(std::move(lease_expiry_us)) {}
+      lease_expiry_us_(std::move(lease_expiry_us)) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  m_appends_ = reg->GetCounter("wal.appends");
+  m_flush_us_ = reg->GetHistogram("wal.flush_us");
+}
 
 uint64_t LogWriter::Append(LogRecord record) {
+  obs::LayerTimer timer(obs::Layer::kWal);
+  m_appends_->Increment();
   std::lock_guard<std::mutex> guard(mu_);
   record.lsn = next_lsn_++;
   uint64_t lsn = record.lsn;
@@ -138,11 +144,13 @@ uint64_t LogWriter::sectors_written() const {
 }
 
 Status LogWriter::FlushTo(uint64_t lsn) {
+  obs::LayerTimer timer(obs::Layer::kWal, m_flush_us_);
   std::unique_lock<std::mutex> lk(mu_);
   return FlushLocked(lsn, lk);
 }
 
 Status LogWriter::FlushAll() {
+  obs::LayerTimer timer(obs::Layer::kWal, m_flush_us_);
   std::unique_lock<std::mutex> lk(mu_);
   return FlushLocked(next_lsn_ - 1, lk);
 }

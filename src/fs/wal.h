@@ -26,6 +26,7 @@
 #include "src/base/status.h"
 #include "src/fs/device.h"
 #include "src/fs/layout.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
 
@@ -113,6 +114,10 @@ class LogWriter {
   uint64_t tail_seq_ = 1;   // oldest live sector (not yet reclaimable space)
   bool flushing_ = false;
   std::condition_variable flush_cv_;
+
+  // Registry handles, resolved once at construction.
+  obs::Counter* m_appends_;
+  Histogram* m_flush_us_;
 };
 
 // ---- Recovery (§4) ----

@@ -14,6 +14,14 @@ LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> rout
       router_(std::move(router)),
       clock_(clock),
       callbacks_(std::move(callbacks)) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  m_sticky_hits_ = reg->GetCounter("lock.acquire.sticky");
+  m_remote_acquires_ = reg->GetCounter("lock.acquire.remote");
+  m_revokes_ = reg->GetCounter("lock.revoke.count");
+  m_acquire_us_ = reg->GetHistogram("lock.acquire_us");
+  m_grant_wait_us_ = reg->GetHistogram("lock.grant_wait_us");
+  m_release_us_ = reg->GetHistogram("lock.release_us");
+  m_revoke_us_ = reg->GetHistogram("lock.revoke_us");
   net_->RegisterService(self_, kServiceName, this);
 }
 
@@ -110,6 +118,7 @@ Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request)
 
 Status LockClerk::Acquire(LockId lock, LockMode mode) {
   FGP_CHECK(mode != LockMode::kNone);
+  obs::LayerTimer timer(obs::Layer::kLock, m_acquire_us_);
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     if (poisoned_ || !open_) {
@@ -123,6 +132,7 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
     if (e.mode == LockMode::kExclusive || e.mode == mode) {
       ++e.users;
       e.last_used = clock_->Now();
+      m_sticky_hits_->Increment();
       return OkStatus();
     }
     if (e.mode == LockMode::kShared && mode == LockMode::kExclusive && e.users > 0) {
@@ -142,7 +152,12 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
     enc.PutU32(slot);
     enc.PutU64(lock);
     enc.PutU8(static_cast<uint8_t>(mode));
-    Status st = ServerCall(kLockRequest, lock, enc.buffer());
+    m_remote_acquires_->Increment();
+    Status st;
+    {
+      obs::LayerTimer grant_timer(obs::Layer::kLock, m_grant_wait_us_);
+      st = ServerCall(kLockRequest, lock, enc.buffer());
+    }
 
     lk.lock();
     Entry& e2 = cache_[lock];
@@ -172,6 +187,7 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
 }
 
 void LockClerk::Release(LockId lock) {
+  obs::LayerTimer timer(obs::Layer::kLock, m_release_us_);
   std::lock_guard<std::mutex> guard(mu_);
   auto it = cache_.find(lock);
   if (it == cache_.end()) {
@@ -334,6 +350,8 @@ StatusOr<Bytes> LockClerk::HandleRevoke(Decoder& dec) {
   if (!dec.ok()) {
     return InvalidArgument("bad revoke");
   }
+  m_revokes_->Increment();
+  obs::LayerTimer timer(obs::Layer::kLock, m_revoke_us_);
   std::unique_lock<std::mutex> lk(mu_);
   if (poisoned_ || !open_) {
     // Our dirty data is gone with the lease; the lock must not change hands

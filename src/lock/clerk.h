@@ -18,6 +18,7 @@
 #include "src/lock/router.h"
 #include "src/lock/types.h"
 #include "src/net/network.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
 
@@ -107,6 +108,15 @@ class LockClerk : public Service {
   TimePoint lease_expiry_{};
   bool open_ = false;
   bool poisoned_ = false;
+
+  // Registry handles, resolved once at construction (hot path is lock-free).
+  obs::Counter* m_sticky_hits_;
+  obs::Counter* m_remote_acquires_;
+  obs::Counter* m_revokes_;
+  Histogram* m_acquire_us_;
+  Histogram* m_grant_wait_us_;
+  Histogram* m_release_us_;
+  Histogram* m_revoke_us_;
 };
 
 }  // namespace frangipani

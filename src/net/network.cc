@@ -13,8 +13,12 @@ NodeId Network::AddNode(std::string name) {
   node->name = std::move(name);
   node->params = defaults_;
   node->nic = std::make_unique<RateLimiter>(defaults_.bandwidth_bps);
+  NodeId id = static_cast<NodeId>(nodes_.size() + 1);
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  node->m_msgs = reg->GetCounter("net.n" + std::to_string(id) + ".msgs");
+  node->m_bytes = reg->GetCounter("net.n" + std::to_string(id) + ".bytes");
   nodes_.push_back(std::move(node));
-  return static_cast<NodeId>(nodes_.size());
+  return id;
 }
 
 void Network::RegisterService(NodeId node, const std::string& service, Service* svc) {
@@ -64,8 +68,17 @@ void Network::Transmit(Node& src, Node& dst, size_t bytes) {
   TimePoint t1 = src.nic->Acquire(bytes);
   TimePoint t2 = dst.nic->Acquire(bytes);
   TimePoint done = std::max(t1, t2) + std::max(src.params.latency, dst.params.latency);
-  if (done > std::chrono::steady_clock::now()) {
+  src.m_msgs->Increment();
+  src.m_bytes->Increment(bytes);
+  TimePoint now = std::chrono::steady_clock::now();
+  if (done > now) {
+    // Queueing + propagation delay actually imposed on this message.
+    m_queue_delay_us_->Record(
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(done - now)
+            .count());
     std::this_thread::sleep_until(done);
+  } else {
+    m_queue_delay_us_->Record(0);
   }
 }
 
@@ -91,7 +104,12 @@ StatusOr<Bytes> Network::Call(NodeId from, NodeId to, const std::string& service
   }
 
   constexpr size_t kHeaderBytes = 64;  // envelope overhead per message
-  Transmit(*src, *dst, request.size() + kHeaderBytes);
+  {
+    // Only the wire time counts as kNet; the handler below runs on this
+    // thread but its time belongs to whatever layer it is part of.
+    obs::LayerTimer timer(obs::Layer::kNet);
+    Transmit(*src, *dst, request.size() + kHeaderBytes);
+  }
 
   StatusOr<Bytes> response = svc->Handle(method, request, from);
 
@@ -103,7 +121,10 @@ StatusOr<Bytes> Network::Call(NodeId from, NodeId to, const std::string& service
     }
   }
   size_t resp_bytes = response.ok() ? response.value().size() : 0;
-  Transmit(*dst, *src, resp_bytes + kHeaderBytes);
+  {
+    obs::LayerTimer timer(obs::Layer::kNet);
+    Transmit(*dst, *src, resp_bytes + kHeaderBytes);
+  }
   return response;
 }
 

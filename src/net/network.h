@@ -28,6 +28,7 @@
 #include "src/base/rng.h"
 #include "src/base/serial.h"
 #include "src/base/status.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
 
@@ -84,6 +85,8 @@ class Network {
     LinkParams params;
     std::unique_ptr<RateLimiter> nic;
     std::map<std::string, Service*> services;
+    obs::Counter* m_msgs = nullptr;   // messages sent by this node
+    obs::Counter* m_bytes = nullptr;  // bytes sent by this node
   };
 
   // Returns false if delivery between the two nodes is impossible right now.
@@ -97,6 +100,8 @@ class Network {
   std::set<std::pair<NodeId, NodeId>> partitions_;
   double drop_probability_ = 0;
   Rng rng_{0xF00DF00Dull};
+  Histogram* m_queue_delay_us_ =
+      obs::MetricsRegistry::Default()->GetHistogram("net.queue_delay_us");
 };
 
 }  // namespace frangipani

@@ -1,0 +1,120 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+namespace frangipani {
+namespace obs {
+
+namespace {
+
+thread_local TraceState* g_active = nullptr;
+std::atomic<uint64_t> g_next_trace_id{1};
+
+}  // namespace
+
+const char* LayerName(Layer layer) {
+  switch (layer) {
+    case Layer::kFs:
+      return "fs";
+    case Layer::kLock:
+      return "lock";
+    case Layer::kWal:
+      return "wal";
+    case Layer::kPetal:
+      return "petal";
+    case Layer::kNet:
+      return "net";
+  }
+  return "?";
+}
+
+OpMetrics OpMetrics::For(MetricsRegistry* registry, const std::string& op) {
+  OpMetrics m;
+  m.count = registry->GetCounter("op." + op + ".count");
+  m.total_us = registry->GetHistogram("op." + op + ".total_us");
+  for (int i = 0; i < kNumLayers; ++i) {
+    m.layer_us[i] = registry->GetHistogram(
+        "op." + op + "." + LayerName(static_cast<Layer>(i)) + "_us");
+  }
+  return m;
+}
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+uint64_t CurrentTraceId() { return g_active != nullptr ? g_active->trace_id : 0; }
+
+OpTrace::OpTrace(const OpMetrics* metrics) : active_(g_active == nullptr) {
+  if (!active_) {
+    return;
+  }
+  state_.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  state_.start_ns = MonotonicNs();
+  state_.metrics = metrics;
+  g_active = &state_;
+}
+
+OpTrace::~OpTrace() {
+  if (!active_) {
+    return;
+  }
+  g_active = nullptr;
+  int64_t total_ns = MonotonicNs() - state_.start_ns;
+  // Inner layers subtracted their elapsed time from their parent as they
+  // closed; charging the total to kFs leaves it holding exactly the time
+  // spent in fs code itself, and makes the layers sum to the total.
+  state_.layer_ns[static_cast<int>(Layer::kFs)] += total_ns;
+  state_.layer_calls[static_cast<int>(Layer::kFs)] += 1;
+  const OpMetrics* m = state_.metrics;
+  if (m == nullptr) {
+    return;
+  }
+  if (m->count != nullptr) {
+    m->count->Increment();
+  }
+  if (m->total_us != nullptr) {
+    m->total_us->Record(static_cast<double>(total_ns) / 1e3);
+  }
+  for (int i = 0; i < kNumLayers; ++i) {
+    if (state_.layer_calls[i] == 0 || m->layer_us[i] == nullptr) {
+      continue;
+    }
+    int64_t ns = std::max<int64_t>(state_.layer_ns[i], 0);
+    m->layer_us[i]->Record(static_cast<double>(ns) / 1e3);
+  }
+}
+
+LayerTimer::LayerTimer(Layer layer, Histogram* latency_us)
+    : layer_(layer),
+      parent_(layer),
+      latency_us_(latency_us),
+      trace_(g_active),
+      start_ns_(MonotonicNs()) {
+  if (trace_ != nullptr) {
+    parent_ = trace_->current;
+    trace_->current = layer_;
+  }
+}
+
+LayerTimer::~LayerTimer() {
+  int64_t elapsed = MonotonicNs() - start_ns_;
+  if (latency_us_ != nullptr) {
+    latency_us_->Record(static_cast<double>(elapsed) / 1e3);
+  }
+  // trace_ == g_active guards against a trace that ended (or moved threads)
+  // while this timer was open.
+  if (trace_ != nullptr && trace_ == g_active) {
+    trace_->current = parent_;
+    trace_->layer_ns[static_cast<int>(layer_)] += elapsed;
+    trace_->layer_ns[static_cast<int>(parent_)] -= elapsed;
+    trace_->layer_calls[static_cast<int>(layer_)] += 1;
+  }
+}
+
+}  // namespace obs
+}  // namespace frangipani

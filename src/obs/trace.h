@@ -1,0 +1,104 @@
+// Cross-layer op tracing.
+//
+// The simulated Network runs RPC handlers on the caller's thread, so a
+// thread-local trace context set at the top of a FrangipaniFs op is visible
+// all the way down through the lock clerk, the lock server's handler, WAL
+// flushes, PetalClient, the Petal server's handler, and Network::Transmit —
+// no explicit plumbing through call signatures.
+//
+// OpTrace is the RAII root span: it stamps a trace id, times the whole op,
+// and on destruction records the total plus a per-layer breakdown into the
+// op's metrics. LayerTimer is the inner span: each layer's hot path opens
+// one, and the elapsed time is attributed *exclusively* — a LayerTimer adds
+// its elapsed time to its own layer and subtracts it from the enclosing
+// layer, so when the root closes the per-layer times sum exactly to the
+// op total (kFs holds the remainder).
+//
+// Work on threads other than the op's (prefetch pool, background flush
+// demons) simply carries no trace context and is not attributed; that is
+// deliberate — the breakdown answers "where did *this call's* latency go".
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace frangipani {
+namespace obs {
+
+enum class Layer { kFs = 0, kLock, kWal, kPetal, kNet };
+inline constexpr int kNumLayers = 5;
+
+const char* LayerName(Layer layer);
+
+// Pre-resolved metric handles for one op name, so OpTrace's destructor never
+// touches the registry mutex. Metric names are global (shared across fs
+// instances): op.<op>.count, op.<op>.total_us, op.<op>.<layer>_us.
+struct OpMetrics {
+  Counter* count = nullptr;
+  Histogram* total_us = nullptr;
+  Histogram* layer_us[kNumLayers] = {};
+
+  static OpMetrics For(MetricsRegistry* registry, const std::string& op);
+};
+
+struct TraceState {
+  uint64_t trace_id = 0;
+  int64_t start_ns = 0;
+  int64_t layer_ns[kNumLayers] = {};
+  uint64_t layer_calls[kNumLayers] = {};
+  Layer current = Layer::kFs;  // layer charged for time not inside a LayerTimer
+  const OpMetrics* metrics = nullptr;
+};
+
+// Monotonic clock for span timing. The simulator models network / disk
+// delays with real sleeps, so wall time is the right measure.
+int64_t MonotonicNs();
+
+// Trace id of the op active on this thread, 0 if none. Used by FLOG-style
+// diagnostics to correlate lines with an op.
+uint64_t CurrentTraceId();
+
+class OpTrace {
+ public:
+  explicit OpTrace(const OpMetrics* metrics);
+  ~OpTrace();
+
+  OpTrace(const OpTrace&) = delete;
+  OpTrace& operator=(const OpTrace&) = delete;
+
+  // False when another OpTrace is already active on this thread (nested
+  // public ops, e.g. Stat calling the shared StatIno path) — the inner
+  // trace is a no-op and the outer one keeps accumulating.
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  TraceState state_;
+};
+
+class LayerTimer {
+ public:
+  // If `latency_us` is non-null the elapsed time is also recorded there
+  // (in microseconds) whether or not a trace is active — that is how the
+  // standalone per-layer latency histograms are fed.
+  explicit LayerTimer(Layer layer, Histogram* latency_us = nullptr);
+  ~LayerTimer();
+
+  LayerTimer(const LayerTimer&) = delete;
+  LayerTimer& operator=(const LayerTimer&) = delete;
+
+ private:
+  Layer layer_;
+  Layer parent_;
+  Histogram* latency_us_;
+  TraceState* trace_;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace frangipani
+
+#endif  // SRC_OBS_TRACE_H_

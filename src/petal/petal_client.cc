@@ -8,7 +8,14 @@
 namespace frangipani {
 
 PetalClient::PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers)
-    : net_(net), self_(self), bootstrap_(std::move(bootstrap_servers)) {}
+    : net_(net), self_(self), bootstrap_(std::move(bootstrap_servers)) {
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  m_read_us_ = reg->GetHistogram("petal.read_us");
+  m_write_us_ = reg->GetHistogram("petal.write_us");
+  m_read_bytes_ = reg->GetCounter("petal.read_bytes");
+  m_write_bytes_ = reg->GetCounter("petal.write_bytes");
+  m_failovers_ = reg->GetCounter("petal.failover");
+}
 
 Status PetalClient::RefreshMap() {
   for (NodeId server : bootstrap_) {
@@ -72,6 +79,7 @@ StatusOr<Bytes> PetalClient::ChunkCall(uint64_t chunk_index, uint32_t method,
         break;
       }
       // kUnavailable or kFailedPrecondition: try the other replica.
+      m_failovers_->Increment();
     }
     // Both replicas failed: our map may be stale.
     Status refresh = RefreshMap();
@@ -98,6 +106,8 @@ StatusOr<Bytes> PetalClient::AnyCall(uint32_t method, const Bytes& request) {
 }
 
 Status PetalClient::Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes* out) {
+  obs::LayerTimer timer(obs::Layer::kPetal, m_read_us_);
+  m_read_bytes_->Increment(length);
   out->clear();
   out->reserve(length);
   uint64_t pos = offset;
@@ -122,6 +132,8 @@ Status PetalClient::Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes*
 
 Status PetalClient::Write(VdiskId vdisk, uint64_t offset, const Bytes& data,
                           int64_t lease_expiry_us) {
+  obs::LayerTimer timer(obs::Layer::kPetal, m_write_us_);
+  m_write_bytes_->Increment(data.size());
   uint64_t pos = offset;
   size_t consumed = 0;
   while (consumed < data.size()) {
@@ -146,6 +158,7 @@ Status PetalClient::Write(VdiskId vdisk, uint64_t offset, const Bytes& data,
 }
 
 Status PetalClient::Decommit(VdiskId vdisk, uint64_t offset, uint64_t length) {
+  obs::LayerTimer timer(obs::Layer::kPetal);
   if ((offset & kChunkMask) != 0 || (length & kChunkMask) != 0) {
     return InvalidArgument("decommit range must be chunk aligned");
   }

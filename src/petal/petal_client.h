@@ -10,6 +10,7 @@
 
 #include "src/base/clock.h"
 #include "src/net/network.h"
+#include "src/obs/trace.h"
 #include "src/petal/global_map.h"
 #include "src/petal/types.h"
 
@@ -57,6 +58,13 @@ class PetalClient {
   mutable std::mutex mu_;
   PetalGlobalMap map_;
   bool have_map_ = false;
+
+  // Registry handles, resolved once at construction.
+  Histogram* m_read_us_;
+  Histogram* m_write_us_;
+  obs::Counter* m_read_bytes_;
+  obs::Counter* m_write_bytes_;
+  obs::Counter* m_failovers_;
 };
 
 }  // namespace frangipani

@@ -23,6 +23,9 @@ PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_gr
       }
     }
   }
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  m_repl_msgs_ = reg->GetCounter("petal.server.repl_msgs");
+  m_repl_bytes_ = reg->GetCounter("petal.server.repl_bytes");
   map_.servers = std::move(initial_active);
   paxos_ = std::make_unique<PaxosPeer>(
       net_, self_, std::move(paxos_group), &durable_->paxos,
@@ -229,6 +232,8 @@ void PetalServer::ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, c
   enc.PutU32(offset_in_chunk);
   enc.PutU64(version);
   enc.PutBytes(data);
+  m_repl_msgs_->Increment();
+  m_repl_bytes_->Increment(data.size());
   StatusOr<Bytes> reply = net_->Call(self_, peer, kServiceName, kReplicaWrite, enc.buffer());
   if (!reply.ok()) {
     // Peer down or partitioned: degraded mode. The peer resyncs on restart.

@@ -25,6 +25,7 @@
 
 #include "src/base/clock.h"
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 #include "src/paxos/paxos.h"
 #include "src/petal/global_map.h"
 #include "src/petal/phys_disk.h"
@@ -145,6 +146,10 @@ class PetalServer : public Service {
   std::atomic<bool> ready_;
 
   std::unique_ptr<PaxosPeer> paxos_;
+
+  // Replication fan-out accounting (primary -> secondary pushes).
+  obs::Counter* m_repl_msgs_;
+  obs::Counter* m_repl_bytes_;
 };
 
 }  // namespace frangipani

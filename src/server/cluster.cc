@@ -1,5 +1,7 @@
 #include "src/server/cluster.h"
 
+#include <fstream>
+
 #include "src/base/logging.h"
 
 namespace frangipani {
@@ -208,6 +210,27 @@ void Cluster::CheckLeases() {
       // Lease sweeps happen lazily on conflicting requests in this flavor.
       break;
   }
+}
+
+std::string Cluster::DumpMetrics() const {
+  return obs::MetricsRegistry::Default()->ExportText();
+}
+
+std::string Cluster::DumpMetricsJson() const {
+  return obs::MetricsRegistry::Default()->ExportJson();
+}
+
+Status Cluster::DumpMetricsToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return IoError("cannot open metrics dump file: " + path);
+  }
+  out << DumpMetricsJson() << "\n";
+  out.close();
+  if (!out) {
+    return IoError("short write to metrics dump file: " + path);
+  }
+  return OkStatus();
 }
 
 }  // namespace frangipani

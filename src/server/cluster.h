@@ -87,6 +87,14 @@ class Cluster {
   // waiting for a background detector).
   void CheckLeases();
 
+  // ---- observability ----
+  // Snapshot of the process-wide metrics registry (counters, gauges,
+  // histogram summaries). Note: the registry is global, so in a process
+  // hosting several Clusters the dump covers all of them.
+  std::string DumpMetrics() const;       // human-readable text
+  std::string DumpMetricsJson() const;
+  Status DumpMetricsToFile(const std::string& path) const;  // JSON
+
  private:
   ClusterOptions options_;
   Network net_;

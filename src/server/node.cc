@@ -88,20 +88,29 @@ void FrangipaniNode::StartDemons() {
   if (renew.count() == 0) {
     renew = lease_duration_ / 3;
   }
-  renew_task_ = std::make_unique<PeriodicTask>(renew, [this] { clerk_->RenewTick(); });
-  log_flush_task_ = std::make_unique<PeriodicTask>(options_.log_flush_period, [this] {
+  // Each demon runs on its own thread; tag their log lines with this node.
+  std::string tag = "n" + std::to_string(node_);
+  renew_task_ = std::make_unique<PeriodicTask>(renew, [this, tag] {
+    SetLogNodeTag(tag);
+    clerk_->RenewTick();
+  });
+  log_flush_task_ = std::make_unique<PeriodicTask>(options_.log_flush_period, [this, tag] {
+    SetLogNodeTag(tag);
     if (fs_) {
       (void)fs_->FlushLog();
     }
   });
-  sync_task_ = std::make_unique<PeriodicTask>(options_.sync_period, [this] {
+  sync_task_ = std::make_unique<PeriodicTask>(options_.sync_period, [this, tag] {
+    SetLogNodeTag(tag);
     if (fs_) {
       (void)fs_->SyncAll();
     }
   });
   idle_drop_task_ = std::make_unique<PeriodicTask>(
-      std::max(options_.idle_lock_drop / 4, Duration(100'000)),
-      [this] { clerk_->DropIdle(options_.idle_lock_drop); });
+      std::max(options_.idle_lock_drop / 4, Duration(100'000)), [this, tag] {
+        SetLogNodeTag(tag);
+        clerk_->DropIdle(options_.idle_lock_drop);
+      });
 }
 
 void FrangipaniNode::StopDemons() {

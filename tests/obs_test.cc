@@ -1,0 +1,240 @@
+// Observability layer: metrics registry, histograms under concurrency,
+// trace spans, and the cross-layer propagation through a real FS op.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/server/cluster.h"
+
+namespace frangipani {
+namespace {
+
+using obs::Counter;
+using obs::Layer;
+using obs::LayerTimer;
+using obs::MetricsRegistry;
+using obs::OpMetrics;
+using obs::OpTrace;
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x.count");
+  Counter* b = reg.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(reg.GetCounter("y.count"), a);
+  EXPECT_EQ(reg.GetHistogram("x.us"), reg.GetHistogram("x.us"));
+  EXPECT_EQ(reg.GetGauge("x.g"), reg.GetGauge("x.g"));
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  Histogram* h = reg.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->count(), uint64_t{kThreads} * kPerThread);
+  // Sum and max use CAS loops, so they are exact too.
+  double expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum = expected_sum + static_cast<double>(t + 1) * kPerThread;
+  }
+  EXPECT_DOUBLE_EQ(h->Sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h->Max(), kThreads);
+}
+
+TEST(HistogramTest, QuantileAccuracy) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) {
+    h.Record(i);
+  }
+  // Log buckets with 32 sub-buckets per octave: relative error < ~3%.
+  EXPECT_NEAR(h.Percentile(0.5), 5000, 5000 * 0.04);
+  EXPECT_NEAR(h.Percentile(0.9), 9000, 9000 * 0.04);
+  EXPECT_NEAR(h.Percentile(0.99), 9900, 9900 * 0.04);
+  EXPECT_DOUBLE_EQ(h.Max(), 10000);
+  EXPECT_LE(h.Percentile(1.0), h.Max());
+  // Values spanning many octaves, including sub-1.0.
+  Histogram wide;
+  wide.Record(0.001);
+  wide.Record(1000000);
+  EXPECT_NEAR(wide.Percentile(0.0), 0.001, 0.001 * 0.05);
+  EXPECT_DOUBLE_EQ(wide.Max(), 1000000);
+}
+
+TEST(MetricsRegistryTest, JsonExportRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("fs.ops")->Increment(42);
+  reg.GetGauge("cache.bytes")->Set(-7);
+  Histogram* h = reg.GetHistogram("op.read.total_us");
+  for (int i = 1; i <= 100; ++i) {
+    h->Record(i);
+  }
+  std::string json = reg.ExportJson();
+  // Structural sanity: one top-level object with the three sections.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  // Values survive the trip.
+  EXPECT_NE(json.find("\"fs.ops\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.bytes\":-7"), std::string::npos);
+  EXPECT_NE(json.find("\"op.read.total_us\":{\"count\":100,\"mean\":50.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"max\":100"), std::string::npos);
+  // Balanced braces (no truncation).
+  int depth = 0;
+  for (char ch : json) {
+    depth += (ch == '{') - (ch == '}');
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // ResetAll zeroes but keeps handles valid.
+  reg.ResetAll();
+  EXPECT_EQ(reg.GetCounter("fs.ops")->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST(TraceTest, NestedOpTraceIsPassthrough) {
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  MetricsRegistry reg;
+  OpMetrics outer_m = OpMetrics::For(&reg, "outer");
+  OpMetrics inner_m = OpMetrics::For(&reg, "inner");
+  uint64_t first_id = 0;
+  {
+    OpTrace outer(&outer_m);
+    EXPECT_TRUE(outer.active());
+    first_id = obs::CurrentTraceId();
+    EXPECT_NE(first_id, 0u);
+    {
+      OpTrace inner(&inner_m);
+      EXPECT_FALSE(inner.active());
+      // The outer trace stays current.
+      EXPECT_EQ(obs::CurrentTraceId(), first_id);
+    }
+    EXPECT_EQ(obs::CurrentTraceId(), first_id);
+  }
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  // Only the outer op recorded; the nested one was a no-op.
+  EXPECT_EQ(outer_m.count->value(), 1u);
+  EXPECT_EQ(outer_m.total_us->count(), 1u);
+  EXPECT_EQ(inner_m.count->value(), 0u);
+
+  // Distinct ops get distinct trace ids.
+  OpTrace next(&outer_m);
+  EXPECT_NE(obs::CurrentTraceId(), first_id);
+}
+
+TEST(TraceTest, LayerTimersAttributeExclusiveTime) {
+  MetricsRegistry reg;
+  OpMetrics m = OpMetrics::For(&reg, "op");
+  {
+    OpTrace trace(&m);
+    LayerTimer lock_timer(Layer::kLock);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    {
+      LayerTimer petal_timer(Layer::kPetal);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  constexpr int kLockIdx = static_cast<int>(Layer::kLock);
+  constexpr int kPetalIdx = static_cast<int>(Layer::kPetal);
+  constexpr int kFsIdx = static_cast<int>(Layer::kFs);
+  ASSERT_EQ(m.total_us->count(), 1u);
+  ASSERT_EQ(m.layer_us[kLockIdx]->count(), 1u);
+  ASSERT_EQ(m.layer_us[kPetalIdx]->count(), 1u);
+  ASSERT_EQ(m.layer_us[kFsIdx]->count(), 1u);
+  double total = m.total_us->Mean();
+  double lock_us = m.layer_us[kLockIdx]->Mean();
+  double petal_us = m.layer_us[kPetalIdx]->Mean();
+  double fs_us = m.layer_us[kFsIdx]->Mean();
+  // Exclusive attribution: the nested petal sleep is not double-counted
+  // into the lock layer, and kFs holds only the (tiny) remainder.
+  EXPECT_GE(total, 8000);
+  EXPECT_GE(petal_us, 4000);
+  EXPECT_GE(lock_us, 2000);
+  EXPECT_LT(lock_us, total - petal_us + 1000);
+  EXPECT_GE(fs_us, 0);
+  // Layer times sum to the total (same measured intervals, by construction;
+  // allow slack for bucket quantization in the histograms).
+  EXPECT_NEAR(lock_us + petal_us + fs_us, total, total * 0.1 + 50);
+}
+
+TEST(TraceTest, LayerTimerWithoutTraceStillFeedsHistogram) {
+  MetricsRegistry reg;
+  Histogram* lat = reg.GetHistogram("lat_us");
+  {
+    LayerTimer timer(Layer::kPetal, lat);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(lat->count(), 1u);
+  EXPECT_GE(lat->Mean(), 1000);
+}
+
+// End-to-end: a traced FS op propagates through the clerk, WAL, Petal
+// client, and network on the caller's thread, so per-layer breakdowns in
+// the default registry are populated.
+TEST(TracePropagationTest, FsOpsProduceLayerBreakdowns) {
+  MetricsRegistry* reg = MetricsRegistry::Default();
+  ClusterOptions opts;
+  opts.petal_servers = 3;
+  opts.disks_per_petal = 1;
+  Cluster cluster(opts);
+  ASSERT_TRUE(cluster.Start().ok());
+  auto node = cluster.AddFrangipani();
+  ASSERT_TRUE(node.ok());
+  FrangipaniFs* fs = (*node)->fs();
+
+  uint64_t create_before = reg->GetCounter("op.create.count")->value();
+  uint64_t read_petal_before = reg->GetHistogram("op.read.petal_us")->count();
+
+  auto ino = fs->Create("/traced");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs->Write(*ino, 0, Bytes(8192, 0xAB)).ok());
+  ASSERT_TRUE(fs->Fsync(*ino).ok());
+  ASSERT_TRUE(fs->DropCaches().ok());
+  Bytes buf;
+  ASSERT_TRUE(fs->Read(*ino, 0, 8192, &buf).ok());
+
+  // Create acquired locks and talked to the lock server over the network.
+  EXPECT_GT(reg->GetCounter("op.create.count")->value(), create_before);
+  EXPECT_GE(reg->GetHistogram("op.create.total_us")->count(), 1u);
+  EXPECT_GE(reg->GetHistogram("op.create.lock_us")->count(), 1u);
+  EXPECT_GE(reg->GetHistogram("op.create.net_us")->count(), 1u);
+  // The cold read went to Petal inside the traced op.
+  EXPECT_GT(reg->GetHistogram("op.read.petal_us")->count(), read_petal_before);
+  // Layer wiring fed the standalone histograms and per-node net counters.
+  EXPECT_GE(reg->GetHistogram("petal.read_us")->count(), 1u);
+  EXPECT_GE(reg->GetHistogram("lock.acquire_us")->count(), 1u);
+  EXPECT_GT(reg->GetCounter("petal.read_bytes")->value(), 0u);
+  EXPECT_GT(reg->GetCounter("net.n1.msgs")->value(), 0u);
+
+  // The cluster-level dump sees all of it.
+  std::string json = cluster.DumpMetricsJson();
+  EXPECT_NE(json.find("\"op.create.total_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"op.read.petal_us\""), std::string::npos);
+  std::string text = cluster.DumpMetrics();
+  EXPECT_NE(text.find("op.create.count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace frangipani
