@@ -165,7 +165,42 @@ void BM_AppendFsync1K(benchmark::State& state) {
   }
 }
 
-void Register(const char* name, void (*fn)(benchmark::State&)) {
+// Large sequential transfers (not in the paper's Table 2, tracked here so the
+// scatter-gather Petal client's large-transfer speedup is visible across
+// revisions). Cold reads so every iteration goes to the Petal servers.
+void BM_ReadSeq1M(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  constexpr size_t kSize = 1 << 20;
+  auto ino = env->fs->Create(Fresh(env, "seq"));
+  (void)env->fs->Write(*ino, 0, Bytes(kSize, 0x5A));
+  (void)env->fs->Fsync(*ino);
+  Bytes buf;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)env->fs->DropCaches();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(env->fs->Read(*ino, 0, kSize, &buf));
+  }
+  state.SetBytesProcessed(state.iterations() * kSize);
+}
+
+void BM_WriteSeq1M(benchmark::State& state) {
+  Env* env = GetEnv(state.range(0), state.range(1));
+  constexpr size_t kSize = 1 << 20;
+  auto ino = env->fs->Create(Fresh(env, "seqw"));
+  Bytes data(kSize, 0x6B);
+  for (auto _ : state) {
+    (void)env->fs->Write(*ino, 0, data);
+    (void)env->fs->Fsync(*ino);
+    state.PauseTiming();
+    (void)env->fs->Truncate(*ino, 0);
+    (void)env->fs->Fsync(*ino);
+    state.ResumeTiming();
+  }
+  state.SetBytesProcessed(state.iterations() * kSize);
+}
+
+void Register(const char* name, void (*fn)(benchmark::State&), int iterations = 60) {
   struct Cfg {
     const char* label;
     int frangipani;
@@ -179,7 +214,7 @@ void Register(const char* name, void (*fn)(benchmark::State&)) {
     benchmark::RegisterBenchmark((std::string(name) + "/" + c.label).c_str(), fn)
         ->Args({c.frangipani, c.nvram})
         ->Unit(benchmark::kMicrosecond)
-        ->Iterations(60);
+        ->Iterations(iterations);
   }
 }
 
@@ -196,6 +231,8 @@ int main(int argc, char** argv) {
   Register("ReadWarm64K", BM_ReadWarm64K);
   Register("ReadCold64K", BM_ReadCold64K);
   Register("AppendFsync1K", BM_AppendFsync1K);
+  Register("ReadSeq1M", BM_ReadSeq1M, /*iterations=*/8);
+  Register("WriteSeq1M", BM_WriteSeq1M, /*iterations=*/8);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

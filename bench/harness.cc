@@ -37,6 +37,7 @@ ClusterOptions PaperClusterOptions(bool nvram) {
   options.node.log_flush_period = Duration(100'000);
   options.node.fs.io_threads = 8;
   options.node.fs.readahead_units = 8;
+  options.node.petal.io_window = 8;  // scatter-gather fan-out per transfer
   return options;
 }
 

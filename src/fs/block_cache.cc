@@ -196,21 +196,65 @@ Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
   std::vector<Status> results(jobs.size());
   if (st.ok()) {
     int64_t fence = lease_expiry_us_ ? lease_expiry_us_() : 0;
-    std::atomic<size_t> next{0};
+    // Coalesce address-adjacent dirty blocks into contiguous device writes
+    // (sequential file data flushes mostly adjacent 4 KB blocks); each run
+    // is one transfer that the Petal client then scatter-gathers across
+    // servers. Runs are written concurrently by the IO pool.
+    std::sort(jobs.begin(), jobs.end(),
+              [](const Job& a, const Job& b) { return a.addr < b.addr; });
+    constexpr size_t kMaxRunBytes = 256 << 10;
+    struct Run {
+      size_t first_job;
+      size_t num_jobs;
+    };
+    std::vector<Run> runs;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      if (!runs.empty()) {
+        Run& r = runs.back();
+        const Job& prev = jobs[i - 1];
+        size_t run_bytes = jobs[i].addr + jobs[i].data.size() - jobs[r.first_job].addr;
+        if (prev.addr + prev.data.size() == jobs[i].addr && run_bytes <= kMaxRunBytes) {
+          ++r.num_jobs;
+          continue;
+        }
+      }
+      runs.push_back({i, 1});
+    }
+    std::vector<Status> run_results(runs.size());
     std::mutex done_mu;
     std::condition_variable done_cv;
     size_t done = 0;
-    for (size_t i = 0; i < jobs.size(); ++i) {
-      io_pool_->Submit([&, i] {
-        results[i] = device_->Write(jobs[i].addr, jobs[i].data, fence);
+    for (size_t r = 0; r < runs.size(); ++r) {
+      io_pool_->Submit([&, r] {
+        const Run& run = runs[r];
+        if (run.num_jobs == 1) {
+          const Job& j = jobs[run.first_job];
+          run_results[r] = device_->Write(j.addr, j.data, fence);
+        } else {
+          Bytes merged;
+          size_t total = jobs[run.first_job + run.num_jobs - 1].addr +
+                         jobs[run.first_job + run.num_jobs - 1].data.size() -
+                         jobs[run.first_job].addr;
+          merged.reserve(total);
+          for (size_t k = 0; k < run.num_jobs; ++k) {
+            const Bytes& d = jobs[run.first_job + k].data;
+            merged.insert(merged.end(), d.begin(), d.end());
+          }
+          run_results[r] = device_->Write(jobs[run.first_job].addr, merged, fence);
+        }
         std::lock_guard<std::mutex> guard(done_mu);
         ++done;
         done_cv.notify_all();
       });
     }
     std::unique_lock<std::mutex> done_lk(done_mu);
-    done_cv.wait(done_lk, [&] { return done == jobs.size(); });
-    for (const Status& r : results) {
+    done_cv.wait(done_lk, [&] { return done == runs.size(); });
+    for (size_t r = 0; r < runs.size(); ++r) {
+      for (size_t k = 0; k < runs[r].num_jobs; ++k) {
+        results[runs[r].first_job + k] = run_results[r];
+      }
+    }
+    for (const Status& r : run_results) {
       if (!r.ok()) {
         st = r;
       }

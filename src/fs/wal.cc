@@ -250,9 +250,14 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
   lk.unlock();
 
   // Build sectors and write them in contiguous runs (wrapping at the end of
-  // the region). Sequential log writes dodge the positioning delay.
+  // the region). A run is one device write, so the whole sector stream goes
+  // to Petal as a single contiguous transfer (scatter-gathered across
+  // servers by the client when it spans chunks); sequential log writes also
+  // dodge the positioning delay. Sectors are framed directly into the run
+  // buffer — no per-sector allocation.
   Status st = OkStatus();
   Bytes run;
+  run.reserve(static_cast<size_t>(sectors_needed) * kLogSectorSize);
   uint64_t run_start_seq = first_seq;
   auto flush_run = [&](uint64_t end_seq_exclusive) -> Status {
     if (run.empty()) {
@@ -269,19 +274,20 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
     size_t off = static_cast<size_t>(i) * kLogSectorPayload;
     uint16_t used = static_cast<uint16_t>(std::min<size_t>(kLogSectorPayload,
                                                            stream.size() - off));
-    Encoder sector;
-    sector.PutU64(seq);
-    sector.PutU16(used);
-    sector.PutRaw(stream.data() + off, used);
-    Bytes sec = sector.Take();
-    sec.resize(kLogSectorSize, 0);
     if ((seq - 1) % num_sectors_ == 0 && !run.empty()) {
       st = flush_run(seq);  // wrapped around: start a new run
       if (!st.ok()) {
         break;
       }
     }
-    run.insert(run.end(), sec.begin(), sec.end());
+    size_t base = run.size();
+    run.resize(base + kLogSectorSize, 0);
+    for (int b = 0; b < 8; ++b) {
+      run[base + b] = static_cast<uint8_t>(seq >> (8 * b));
+    }
+    run[base + 8] = static_cast<uint8_t>(used & 0xFF);
+    run[base + 9] = static_cast<uint8_t>(used >> 8);
+    std::memcpy(run.data() + base + kLogSectorHeader, stream.data() + off, used);
   }
   if (st.ok()) {
     st = flush_run(first_seq + sectors_needed);

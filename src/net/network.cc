@@ -128,6 +128,25 @@ StatusOr<Bytes> Network::Call(NodeId from, NodeId to, const std::string& service
   return response;
 }
 
+ThreadPool* Network::IoPool() {
+  std::call_once(io_pool_once_, [this] { io_pool_ = std::make_unique<ThreadPool>(io_threads_); });
+  return io_pool_.get();
+}
+
+void Network::SubmitIo(std::function<void()> fn) { IoPool()->Submit(std::move(fn)); }
+
+std::future<StatusOr<Bytes>> Network::CallAsync(NodeId from, NodeId to,
+                                                const std::string& service, uint32_t method,
+                                                Bytes request) {
+  auto task = std::make_shared<std::packaged_task<StatusOr<Bytes>()>>(
+      [this, from, to, service, method, req = std::move(request)] {
+        return Call(from, to, service, method, req);
+      });
+  std::future<StatusOr<Bytes>> result = task->get_future();
+  IoPool()->Submit([task] { (*task)(); });
+  return result;
+}
+
 void Network::SetNodeUp(NodeId node, bool up) {
   std::lock_guard<std::mutex> guard(mu_);
   FGP_CHECK(node >= 1 && node <= nodes_.size());

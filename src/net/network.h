@@ -9,6 +9,11 @@
 //
 // RPCs execute the target service handler on the caller's thread after the
 // request transmission completes; the response is then transmitted back.
+// CallAsync/SubmitIo run the same synchronous call on a shared IO thread
+// pool, so a caller can keep several RPCs in flight; the per-NIC RateLimiter
+// occupancy model is untouched (each in-flight message still reserves both
+// NICs), which is exactly what lets scatter-gather transfers overlap the
+// wire and disk time of independent chunks.
 // Failure injection: node down, pairwise partition, full isolation, random
 // message drops. A failed delivery surfaces as kUnavailable, which callers
 // treat like an RPC timeout.
@@ -16,6 +21,8 @@
 #define SRC_NET_NETWORK_H_
 
 #include <cstdint>
+#include <functional>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -28,6 +35,7 @@
 #include "src/base/rng.h"
 #include "src/base/serial.h"
 #include "src/base/status.h"
+#include "src/base/thread_pool.h"
 #include "src/obs/trace.h"
 
 namespace frangipani {
@@ -50,7 +58,8 @@ struct LinkParams {
 
 class Network {
  public:
-  explicit Network(LinkParams defaults = {}) : defaults_(defaults) {}
+  explicit Network(LinkParams defaults = {}, int io_threads = 32)
+      : defaults_(defaults), io_threads_(io_threads) {}
 
   // Adds a machine to the network and returns its id (ids start at 1).
   NodeId AddNode(std::string name);
@@ -62,6 +71,20 @@ class Network {
   // failure injection in both directions.
   StatusOr<Bytes> Call(NodeId from, NodeId to, const std::string& service, uint32_t method,
                        const Bytes& request);
+
+  // ---- Async IO ----
+  // Runs `fn` on the shared IO thread pool (created lazily on first use).
+  // Tasks typically wrap one or more synchronous Call()s; a task must never
+  // block waiting for another SubmitIo/CallAsync task to finish, or the pool
+  // can deadlock at saturation. Callers own completion signaling and must
+  // not return control of captured state until their tasks have finished.
+  void SubmitIo(std::function<void()> fn);
+
+  // Asynchronous RPC: Call() executed on the IO thread pool. The returned
+  // future yields exactly what the synchronous Call would have. The request
+  // is taken by value so the caller's buffer can be reused immediately.
+  std::future<StatusOr<Bytes>> CallAsync(NodeId from, NodeId to, const std::string& service,
+                                         uint32_t method, Bytes request);
 
   std::string NodeName(NodeId node) const;
 
@@ -94,8 +117,13 @@ class Network {
   // Models occupancy of both NICs plus propagation; sleeps the caller.
   void Transmit(Node& src, Node& dst, size_t bytes);
 
+  ThreadPool* IoPool();
+
   mutable std::mutex mu_;
   LinkParams defaults_;
+  int io_threads_;
+  std::once_flag io_pool_once_;
+  std::unique_ptr<ThreadPool> io_pool_;
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::set<std::pair<NodeId, NodeId>> partitions_;
   double drop_probability_ = 0;

@@ -37,6 +37,14 @@ class Gauge {
  public:
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  // Monotonic high-water mark: raises the gauge to `v` if it is larger.
+  // Used for e.g. peak in-flight counts so a run's maximum concurrency is
+  // still visible after the fact.
+  void Max(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { v_.store(0, std::memory_order_relaxed); }
 

@@ -1,20 +1,37 @@
 #include "src/petal/petal_client.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <cstring>
 
 #include "src/base/logging.h"
 #include "src/petal/petal_server.h"
 
 namespace frangipani {
 
-PetalClient::PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers)
-    : net_(net), self_(self), bootstrap_(std::move(bootstrap_servers)) {
+PetalClient::PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers,
+                         PetalClientOptions options)
+    : net_(net),
+      self_(self),
+      bootstrap_(std::move(bootstrap_servers)),
+      io_window_(options.io_window) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_read_us_ = reg->GetHistogram("petal.read_us");
   m_write_us_ = reg->GetHistogram("petal.write_us");
+  m_chunk_us_ = reg->GetHistogram("petal.chunk_us");
   m_read_bytes_ = reg->GetCounter("petal.read_bytes");
   m_write_bytes_ = reg->GetCounter("petal.write_bytes");
   m_failovers_ = reg->GetCounter("petal.failover");
+  m_decommit_errors_ = reg->GetCounter("petal.decommit_errors");
+  m_inflight_ = reg->GetGauge("petal.inflight");
+  m_inflight_peak_ = reg->GetGauge("petal.inflight_peak");
+  m_io_window_ = reg->GetGauge("petal.io_window");
+  m_io_window_->Set(options.io_window);
+}
+
+void PetalClient::set_io_window(uint32_t window) {
+  io_window_.store(window == 0 ? 1 : window, std::memory_order_relaxed);
+  m_io_window_->Set(io_window_.load(std::memory_order_relaxed));
 }
 
 Status PetalClient::RefreshMap() {
@@ -44,8 +61,62 @@ PetalGlobalMap PetalClient::MapSnapshot() const {
   return map_;
 }
 
+Status PetalClient::ForEachChunk(size_t count, const std::function<Status(size_t)>& op) {
+  uint32_t window = io_window_.load(std::memory_order_relaxed);
+  if (count <= 1 || window <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      RETURN_IF_ERROR(op(i));
+    }
+    return OkStatus();
+  }
+  // Bounded scatter-gather: the caller's thread issues sub-requests onto the
+  // network's IO pool and sleeps when the window is full. Tasks signal under
+  // `mu` so the state below (on this stack frame) cannot be torn down while
+  // a task still references it — the loop only exits once inflight == 0.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t inflight = 0;
+  bool failed = false;
+  Status first_error;
+
+  size_t next = 0;
+  std::unique_lock<std::mutex> lk(mu);
+  while (next < count || inflight > 0) {
+    if (next < count && !failed && inflight < window) {
+      size_t i = next++;
+      ++inflight;
+      m_inflight_->Add(1);
+      m_inflight_peak_->Max(m_inflight_->value());
+      lk.unlock();
+      net_->SubmitIo([this, &mu, &cv, &inflight, &failed, &first_error, &op, i] {
+        Status st = op(i);
+        m_inflight_->Add(-1);
+        std::lock_guard<std::mutex> guard(mu);
+        --inflight;
+        if (!st.ok() && !failed) {
+          failed = true;
+          first_error = st;
+        }
+        cv.notify_all();
+      });
+      lk.lock();
+    } else {
+      cv.wait(lk);
+    }
+  }
+  return failed ? first_error : OkStatus();
+}
+
 StatusOr<Bytes> PetalClient::ChunkCall(uint64_t chunk_index, uint32_t method,
                                        const Bytes& request) {
+  int64_t t0 = obs::MonotonicNs();
+  StatusOr<Bytes> result = ChunkCallImpl(chunk_index, method, request);
+  m_chunk_us_->Record(static_cast<double>(obs::MonotonicNs() - t0) / 1000.0);
+  return result;
+}
+
+StatusOr<Bytes> PetalClient::ChunkCallImpl(uint64_t chunk_index, uint32_t method,
+                                           const Bytes& request) {
   constexpr int kAttempts = 3;
   Status last = Unavailable("no attempt made");
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
@@ -105,56 +176,79 @@ StatusOr<Bytes> PetalClient::AnyCall(uint32_t method, const Bytes& request) {
   return last;
 }
 
-Status PetalClient::Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes* out) {
-  obs::LayerTimer timer(obs::Layer::kPetal, m_read_us_);
-  m_read_bytes_->Increment(length);
-  out->clear();
-  out->reserve(length);
+namespace {
+
+// One chunk-granularity slice of a larger transfer.
+struct ChunkSpan {
+  uint64_t index = 0;    // chunk index
+  uint64_t pos = 0;      // absolute byte position of the slice
+  uint32_t n = 0;        // slice length
+  size_t data_off = 0;   // offset into the transfer's buffer
+};
+
+std::vector<ChunkSpan> SplitIntoChunks(uint64_t offset, uint64_t length) {
+  std::vector<ChunkSpan> spans;
+  spans.reserve(static_cast<size_t>(length / kChunkSize) + 2);
   uint64_t pos = offset;
   uint64_t end = offset + length;
   while (pos < end) {
     uint64_t index = ChunkIndexOf(pos);
     uint64_t chunk_end = ChunkBase(index) + kChunkSize;
     uint32_t n = static_cast<uint32_t>(std::min(end, chunk_end) - pos);
-    Encoder enc;
-    enc.PutU32(vdisk);
-    enc.PutU64(pos);
-    enc.PutU32(n);
-    ASSIGN_OR_RETURN(Bytes piece, ChunkCall(index, PetalServer::kRead, enc.buffer()));
-    if (piece.size() != n) {
-      return IoError("short read from petal");
-    }
-    out->insert(out->end(), piece.begin(), piece.end());
+    spans.push_back({index, pos, n, static_cast<size_t>(pos - offset)});
     pos += n;
   }
-  return OkStatus();
+  return spans;
+}
+
+}  // namespace
+
+Status PetalClient::Read(VdiskId vdisk, uint64_t offset, uint64_t length, Bytes* out) {
+  obs::LayerTimer timer(obs::Layer::kPetal, m_read_us_);
+  m_read_bytes_->Increment(length);
+  // Preallocate so concurrent sub-reads land in place; reassembly in order
+  // is then free (each slice is disjoint).
+  out->assign(length, 0);
+  if (length == 0) {
+    return OkStatus();
+  }
+  std::vector<ChunkSpan> spans = SplitIntoChunks(offset, length);
+  uint8_t* base = out->data();
+  return ForEachChunk(spans.size(), [&](size_t i) -> Status {
+    const ChunkSpan& s = spans[i];
+    Encoder enc;
+    enc.PutU32(vdisk);
+    enc.PutU64(s.pos);
+    enc.PutU32(s.n);
+    ASSIGN_OR_RETURN(Bytes piece, ChunkCall(s.index, PetalServer::kRead, enc.buffer()));
+    if (piece.size() != s.n) {
+      return IoError("short read from petal");
+    }
+    std::memcpy(base + s.data_off, piece.data(), s.n);
+    return OkStatus();
+  });
 }
 
 Status PetalClient::Write(VdiskId vdisk, uint64_t offset, const Bytes& data,
                           int64_t lease_expiry_us) {
   obs::LayerTimer timer(obs::Layer::kPetal, m_write_us_);
   m_write_bytes_->Increment(data.size());
-  uint64_t pos = offset;
-  size_t consumed = 0;
-  while (consumed < data.size()) {
-    uint64_t index = ChunkIndexOf(pos);
-    uint64_t chunk_end = ChunkBase(index) + kChunkSize;
-    uint32_t n = static_cast<uint32_t>(
-        std::min<uint64_t>(data.size() - consumed, chunk_end - pos));
+  if (data.empty()) {
+    return OkStatus();
+  }
+  std::vector<ChunkSpan> spans = SplitIntoChunks(offset, data.size());
+  return ForEachChunk(spans.size(), [&](size_t i) -> Status {
+    const ChunkSpan& s = spans[i];
     Encoder enc;
     enc.PutU32(vdisk);
-    enc.PutU64(pos);
+    enc.PutU64(s.pos);
     enc.PutI64(lease_expiry_us);
-    Bytes piece(data.begin() + consumed, data.begin() + consumed + n);
-    enc.PutBytes(piece);
-    StatusOr<Bytes> reply = ChunkCall(index, PetalServer::kWrite, enc.buffer());
-    if (!reply.ok()) {
-      return reply.status();
-    }
-    pos += n;
-    consumed += n;
-  }
-  return OkStatus();
+    // Encode straight from the source range (length-prefixed, matching
+    // Decoder::GetBytes) — no intermediate per-chunk copy.
+    enc.PutU32(s.n);
+    enc.PutRaw(data.data() + s.data_off, s.n);
+    return ChunkCall(s.index, PetalServer::kWrite, enc.buffer()).status();
+  });
 }
 
 Status PetalClient::Decommit(VdiskId vdisk, uint64_t offset, uint64_t length) {
@@ -162,28 +256,54 @@ Status PetalClient::Decommit(VdiskId vdisk, uint64_t offset, uint64_t length) {
   if ((offset & kChunkMask) != 0 || (length & kChunkMask) != 0) {
     return InvalidArgument("decommit range must be chunk aligned");
   }
-  for (uint64_t index = ChunkIndexOf(offset); index < ChunkIndexOf(offset + length); ++index) {
-    // Decommit must reach both replicas; send to each directly.
-    Replicas place;
-    {
-      std::lock_guard<std::mutex> guard(mu_);
-      place = PlaceChunk(map_, index);
-    }
+  uint64_t first = ChunkIndexOf(offset);
+  uint64_t count = ChunkIndexOf(offset + length) - first;
+  return ForEachChunk(static_cast<size_t>(count), [&](size_t i) -> Status {
+    uint64_t index = first + i;
     Encoder enc;
     enc.PutU32(vdisk);
     enc.PutU64(index);
-    for (NodeId server : {place.primary, place.secondary}) {
-      if (server == kInvalidNode) {
-        continue;
+    // Decommit must reach both replicas; send to each directly. One ack is
+    // enough to succeed (a lagging replica resyncs on restart); every failed
+    // replica call is counted, and a total miss retries after a map refresh.
+    constexpr int kAttempts = 2;
+    Status last = Unavailable("no replica for decommit");
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      Replicas place;
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        place = have_map_ ? PlaceChunk(map_, index) : Replicas{};
       }
-      (void)net_->Call(self_, server, PetalServer::kServiceName, PetalServer::kDecommit,
-                       enc.buffer());
-      if (place.secondary == place.primary) {
-        break;
+      int acked = 0;
+      for (NodeId server : {place.primary, place.secondary}) {
+        if (server == kInvalidNode) {
+          continue;
+        }
+        Status st = net_->Call(self_, server, PetalServer::kServiceName,
+                               PetalServer::kDecommit, enc.buffer())
+                        .status();
+        if (st.ok()) {
+          ++acked;
+        } else {
+          last = st;
+          m_decommit_errors_->Increment();
+          if (!decommit_error_logged_.exchange(true)) {
+            FLOG(WARN) << "petal decommit RPC failed (further failures only counted in "
+                          "petal.decommit_errors): "
+                       << st;
+          }
+        }
+        if (place.secondary == place.primary) {
+          break;
+        }
       }
+      if (acked > 0) {
+        return OkStatus();
+      }
+      RETURN_IF_ERROR(RefreshMap());
     }
-  }
-  return OkStatus();
+    return last;
+  });
 }
 
 StatusOr<VdiskId> PetalClient::CreateVdisk() {

@@ -2,9 +2,20 @@
 // makes the virtual disk look like an ordinary local disk. Responsible for
 // locating the correct Petal server for each chunk and failing over to the
 // other replica when one is unreachable.
+//
+// Large transfers are scatter-gathered: Read/Write/Decommit split the range
+// into 64 KB chunk sub-requests and issue them concurrently through the
+// network's shared IO pool under a bounded in-flight window (io_window,
+// default 8; 1 = serial). Each sub-request independently carries the full
+// primary→secondary failover and map-refresh retry logic, and reads land
+// directly in their slice of the caller's buffer, so reassembly is in order
+// by construction. This is what stripes a single large transfer across many
+// Petal servers at once (§9.2, Figures 6–7).
 #ifndef SRC_PETAL_PETAL_CLIENT_H_
 #define SRC_PETAL_PETAL_CLIENT_H_
 
+#include <atomic>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -16,10 +27,18 @@
 
 namespace frangipani {
 
+struct PetalClientOptions {
+  // Max chunk sub-requests in flight per transfer. 1 disables the parallel
+  // path entirely (serial loop on the caller's thread, the pre-scatter-gather
+  // behavior; benches use it as the comparison baseline).
+  uint32_t io_window = 8;
+};
+
 // Thread-safe; one instance per client machine.
 class PetalClient {
  public:
-  PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers);
+  PetalClient(Network* net, NodeId self, std::vector<NodeId> bootstrap_servers,
+              PetalClientOptions options = {});
 
   // Reads `length` bytes at `offset` (may span chunks). Uncommitted ranges
   // read as zeros.
@@ -31,7 +50,10 @@ class PetalClient {
   Status Write(VdiskId vdisk, uint64_t offset, const Bytes& data, int64_t lease_expiry_us = 0);
 
   // Frees physical storage backing [offset, offset+length); both bounds must
-  // be chunk-aligned.
+  // be chunk-aligned. Succeeds per chunk if at least one replica acked (the
+  // other resyncs later); fails only when no replica is reachable even after
+  // a map refresh. Individual replica failures are counted in
+  // petal.decommit_errors.
   Status Decommit(VdiskId vdisk, uint64_t offset, uint64_t length);
 
   StatusOr<VdiskId> CreateVdisk();
@@ -44,27 +66,47 @@ class PetalClient {
 
   NodeId node() const { return self_; }
 
+  // Runtime control of the scatter-gather window (benches flip this to
+  // compare serial vs parallel on the same cluster). Takes effect on the
+  // next transfer.
+  void set_io_window(uint32_t window);
+  uint32_t io_window() const { return io_window_.load(std::memory_order_relaxed); }
+
  private:
   // Runs `method` against a replica of `chunk_index`, failing over and
-  // refreshing the map as needed.
+  // refreshing the map as needed. The wrapper feeds petal.chunk_us.
   StatusOr<Bytes> ChunkCall(uint64_t chunk_index, uint32_t method, const Bytes& request);
+  StatusOr<Bytes> ChunkCallImpl(uint64_t chunk_index, uint32_t method, const Bytes& request);
   // Runs an admin call against any reachable server.
   StatusOr<Bytes> AnyCall(uint32_t method, const Bytes& request);
+
+  // Runs op(0..count-1) with at most io_window() in flight on the network's
+  // IO pool; the caller's thread issues and waits. Stops issuing after the
+  // first failure (in-flight ops drain) and returns that first error.
+  Status ForEachChunk(size_t count, const std::function<Status(size_t)>& op);
 
   Network* net_;
   NodeId self_;
   std::vector<NodeId> bootstrap_;
+  std::atomic<uint32_t> io_window_;
 
   mutable std::mutex mu_;
   PetalGlobalMap map_;
   bool have_map_ = false;
 
+  std::atomic<bool> decommit_error_logged_{false};
+
   // Registry handles, resolved once at construction.
   Histogram* m_read_us_;
   Histogram* m_write_us_;
+  Histogram* m_chunk_us_;
   obs::Counter* m_read_bytes_;
   obs::Counter* m_write_bytes_;
   obs::Counter* m_failovers_;
+  obs::Counter* m_decommit_errors_;
+  obs::Gauge* m_inflight_;
+  obs::Gauge* m_inflight_peak_;
+  obs::Gauge* m_io_window_;
 };
 
 }  // namespace frangipani

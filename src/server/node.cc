@@ -9,7 +9,7 @@ FrangipaniNode::FrangipaniNode(Network* net, NodeId node, std::vector<NodeId> pe
                                std::vector<NodeId> lock_servers, LockServiceKind lock_kind,
                                VdiskId vdisk, Clock* clock, NodeOptions options)
     : net_(net), node_(node), vdisk_(vdisk), clock_(clock), options_(options) {
-  petal_ = std::make_unique<PetalClient>(net_, node_, std::move(petal_servers));
+  petal_ = std::make_unique<PetalClient>(net_, node_, std::move(petal_servers), options_.petal);
   device_ = std::make_unique<PetalDevice>(petal_.get(), vdisk_);
 
   std::unique_ptr<LockRouter> router;

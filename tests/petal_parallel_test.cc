@@ -1,0 +1,306 @@
+// Parallel (scatter-gather) Petal I/O under faults: multi-chunk transfers
+// with the bounded in-flight window must reassemble byte-exact, fail over
+// per chunk when a primary dies mid-transfer, survive injected message
+// drops via per-chunk retry, and recover from a stale map via refresh —
+// with no lost or duplicated chunk writes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "src/obs/metrics.h"
+#include "src/petal/petal_client.h"
+#include "src/petal/petal_server.h"
+
+namespace frangipani {
+namespace {
+
+class PetalParallelTest : public ::testing::Test {
+ protected:
+  void Build(int n, uint32_t io_window = 8) {
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(net_.AddNode("petal" + std::to_string(i)));
+    }
+    for (int i = 0; i < n; ++i) {
+      states_.emplace_back(std::make_unique<PetalServerDurable>());
+      PetalServerOptions opts;
+      opts.num_disks = 2;
+      opts.disk.timing_enabled = false;
+      servers_.push_back(std::make_unique<PetalServer>(&net_, nodes_[i], nodes_, nodes_,
+                                                       states_.back().get(), opts,
+                                                       SystemClock::Get()));
+    }
+    client_node_ = net_.AddNode("client");
+    PetalClientOptions copts;
+    copts.io_window = io_window;
+    client_ = std::make_unique<PetalClient>(&net_, client_node_, nodes_, copts);
+    ASSERT_TRUE(client_->RefreshMap().ok());
+  }
+
+  Bytes Pattern(size_t n, uint8_t seed = 3) {
+    Bytes out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>((i * 37 + seed) & 0xFF);
+    }
+    return out;
+  }
+
+  // How many servers hold (vdisk, chunk).
+  int Holders(VdiskId vd, uint64_t index) {
+    int holders = 0;
+    for (auto& state : states_) {
+      std::lock_guard<std::mutex> guard(state->mu);
+      if (state->chunks.count({vd, index}) > 0) {
+        ++holders;
+      }
+    }
+    return holders;
+  }
+
+  Network net_;
+  std::vector<NodeId> nodes_;
+  std::vector<std::unique_ptr<PetalServerDurable>> states_;
+  std::vector<std::unique_ptr<PetalServer>> servers_;
+  NodeId client_node_ = kInvalidNode;
+  std::unique_ptr<PetalClient> client_;
+};
+
+TEST_F(PetalParallelTest, MultiChunkRoundTripReassemblesInOrder) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok()) << vd.status();
+  // Unaligned 1 MB + change spanning 18 chunks: slices must land in order.
+  Bytes data = Pattern((1 << 20) + 12345, 7);
+  uint64_t off = kChunkSize - 777;
+  obs::Gauge* peak = obs::MetricsRegistry::Default()->GetGauge("petal.inflight_peak");
+  peak->Reset();
+  ASSERT_TRUE(client_->Write(*vd, off, data).ok());
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, off, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+  // The window actually overlapped sub-requests.
+  EXPECT_GT(peak->value(), 1);
+  // And drained completely.
+  EXPECT_EQ(obs::MetricsRegistry::Default()->GetGauge("petal.inflight")->value(), 0);
+}
+
+TEST_F(PetalParallelTest, SerialWindowStillCorrect) {
+  Build(4, /*io_window=*/1);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  Bytes data = Pattern(5 * kChunkSize + 17, 9);
+  ASSERT_TRUE(client_->Write(*vd, 100, data).ok());
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, 100, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(PetalParallelTest, NoLostOrDuplicatedChunkWrites) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  constexpr int kChunks = 8;
+  ASSERT_TRUE(client_->Write(*vd, 0, Pattern(kChunks * kChunkSize)).ok());
+  for (uint64_t c = 0; c < kChunks; ++c) {
+    EXPECT_EQ(Holders(*vd, c), 2) << "chunk " << c;
+  }
+  uint64_t total = 0;
+  for (auto& s : servers_) {
+    total += s->chunk_count();
+  }
+  EXPECT_EQ(total, 2u * kChunks);
+}
+
+TEST_F(PetalParallelTest, PrimaryDownMidTransferFailsOverPerChunk) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  Bytes data = Pattern(12 * kChunkSize, 5);
+  ASSERT_TRUE(client_->Write(*vd, 0, data).ok());
+  // Kill one server: with 4 servers and round-robin placement it is the
+  // primary for a quarter of the transfer's chunks, so a single multi-chunk
+  // read fails over per chunk while other chunks proceed normally.
+  obs::Counter* failovers = obs::MetricsRegistry::Default()->GetCounter("petal.failover");
+  uint64_t failovers_before = failovers->value();
+  net_.SetNodeUp(nodes_[1], false);
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+  EXPECT_GT(failovers->value(), failovers_before);
+  // Degraded parallel writes land on the secondaries and stay readable.
+  Bytes data2 = Pattern(12 * kChunkSize, 6);
+  ASSERT_TRUE(client_->Write(*vd, 0, data2).ok());
+  ASSERT_TRUE(client_->Read(*vd, 0, data2.size(), &back).ok());
+  EXPECT_EQ(back, data2);
+}
+
+TEST_F(PetalParallelTest, PrimaryKilledConcurrentlyWithTransfer) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  Bytes data = Pattern(24 * kChunkSize, 8);
+  ASSERT_TRUE(client_->Write(*vd, 0, data).ok());
+  // Take a server down while a large parallel read is in flight.
+  std::thread killer([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    net_.SetNodeUp(nodes_[2], false);
+  });
+  Bytes back;
+  Status st = client_->Read(*vd, 0, data.size(), &back);
+  killer.join();
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(back, data);
+}
+
+TEST_F(PetalParallelTest, InjectedDropsRetriedWithoutCorruption) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  constexpr int kChunks = 10;
+  Bytes data = Pattern(kChunks * kChunkSize, 11);
+  // Low drop rate: ChunkCall's per-chunk retry (failover + map refresh, 3
+  // attempts) absorbs nearly all of it; the outer loop covers the tail so
+  // the test is deterministic-enough without masking real corruption.
+  net_.SetDropProbability(0.03);
+  Status wst = Unavailable("not attempted");
+  for (int attempt = 0; attempt < 10 && !wst.ok(); ++attempt) {
+    wst = client_->Write(*vd, 0, data);
+  }
+  net_.SetDropProbability(0);
+  ASSERT_TRUE(wst.ok()) << wst;
+  // A lost reply after a server-side apply must not duplicate chunks; a
+  // dropped replica forward can leave a chunk degraded (1 holder) but never
+  // lost. (Exact 2x replication is asserted in the no-fault test above.)
+  for (uint64_t c = 0; c < kChunks; ++c) {
+    int holders = Holders(*vd, c);
+    EXPECT_GE(holders, 1) << "chunk " << c;
+    EXPECT_LE(holders, 2) << "chunk " << c;
+  }
+  // ...and the reassembled content is byte-exact.
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+
+  // Same under drops on the read path.
+  net_.SetDropProbability(0.03);
+  Status rst = Unavailable("not attempted");
+  Bytes noisy;
+  for (int attempt = 0; attempt < 10 && !rst.ok(); ++attempt) {
+    rst = client_->Read(*vd, 0, data.size(), &noisy);
+  }
+  net_.SetDropProbability(0);
+  ASSERT_TRUE(rst.ok()) << rst;
+  EXPECT_EQ(noisy, data);
+}
+
+TEST_F(PetalParallelTest, StaleMapAfterMembershipChangeForcesRefresh) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  ASSERT_TRUE(client_->RefreshMap().ok());
+  Bytes data = Pattern(8 * kChunkSize, 13);
+  ASSERT_TRUE(client_->Write(*vd, 0, data).ok());
+  // Membership change behind the client's back: server 3 leaves, data is
+  // rebalanced onto the remaining three, then the old server goes away
+  // entirely (partitioned from everyone). The client's map still places
+  // chunks on it; per-chunk failover + map refresh must recover mid-read.
+  ASSERT_TRUE(servers_[0]->ProposeRemoveServer(nodes_[3]).ok());
+  for (auto& s : servers_) {
+    s->paxos()->CatchUp();
+    ASSERT_TRUE(s->Rebalance().ok());
+  }
+  net_.SetIsolated(nodes_[3], true);
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+  // Parallel writes against the refreshed map replicate fully again.
+  Bytes data2 = Pattern(8 * kChunkSize, 14);
+  ASSERT_TRUE(client_->Write(*vd, 0, data2).ok());
+  ASSERT_TRUE(client_->Read(*vd, 0, data2.size(), &back).ok());
+  EXPECT_EQ(back, data2);
+}
+
+TEST_F(PetalParallelTest, ParallelDecommitFreesAndPropagatesState) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  constexpr int kChunks = 8;
+  ASSERT_TRUE(client_->Write(*vd, 0, Pattern(kChunks * kChunkSize)).ok());
+  ASSERT_TRUE(client_->Decommit(*vd, 0, kChunks * kChunkSize).ok());
+  uint64_t total = 0;
+  for (auto& s : servers_) {
+    total += s->chunk_count();
+  }
+  EXPECT_EQ(total, 0u);
+  Bytes back;
+  ASSERT_TRUE(client_->Read(*vd, 0, 4096, &back).ok());
+  EXPECT_TRUE(std::all_of(back.begin(), back.end(), [](uint8_t b) { return b == 0; }));
+}
+
+TEST_F(PetalParallelTest, DecommitCountsReplicaErrorsButSucceedsOnOneAck) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  constexpr int kChunks = 4;
+  ASSERT_TRUE(client_->Write(*vd, 0, Pattern(kChunks * kChunkSize)).ok());
+  obs::Counter* errors = obs::MetricsRegistry::Default()->GetCounter("petal.decommit_errors");
+  uint64_t errors_before = errors->value();
+  // One replica down: decommit still succeeds (the survivor acks) but the
+  // failed replica calls are counted instead of silently discarded.
+  net_.SetNodeUp(nodes_[0], false);
+  ASSERT_TRUE(client_->Decommit(*vd, 0, kChunks * kChunkSize).ok());
+  EXPECT_GT(errors->value(), errors_before);
+  net_.SetNodeUp(nodes_[0], true);
+}
+
+TEST_F(PetalParallelTest, DecommitFailsWhenNoReplicaReachable) {
+  Build(3);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  ASSERT_TRUE(client_->Write(*vd, 0, Pattern(2 * kChunkSize)).ok());
+  for (NodeId n : nodes_) {
+    net_.SetNodeUp(n, false);
+  }
+  EXPECT_FALSE(client_->Decommit(*vd, 0, 2 * kChunkSize).ok());
+  for (NodeId n : nodes_) {
+    net_.SetNodeUp(n, true);
+  }
+}
+
+TEST_F(PetalParallelTest, ConcurrentParallelTransfersFromManyThreads) {
+  Build(4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  // Several threads scatter-gather disjoint regions through one client at
+  // once (the shared IO pool multiplexes all of them). TSan target.
+  constexpr int kThreads = 4;
+  constexpr uint64_t kRegion = 6 * kChunkSize;
+  std::vector<std::thread> workers;
+  std::vector<Status> results(kThreads, Unavailable("not run"));
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Bytes data = Pattern(kRegion, static_cast<uint8_t>(100 + t));
+      uint64_t off = static_cast<uint64_t>(t) * kRegion;
+      Status st = client_->Write(*vd, off, data);
+      if (!st.ok()) {
+        results[t] = st;
+        return;
+      }
+      Bytes back;
+      st = client_->Read(*vd, off, kRegion, &back);
+      if (st.ok() && back != data) {
+        st = Internal("readback mismatch");
+      }
+      results[t] = st;
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(results[t].ok()) << "thread " << t << ": " << results[t];
+  }
+}
+
+}  // namespace
+}  // namespace frangipani
