@@ -7,6 +7,12 @@
 
 namespace frangipani {
 
+Network::~Network() {
+  // Drain and join IO workers while every member they can touch is still
+  // alive; default member-order destruction would free nodes_ first.
+  io_pool_.reset();
+}
+
 NodeId Network::AddNode(std::string name) {
   std::lock_guard<std::mutex> guard(mu_);
   auto node = std::make_unique<Node>();

@@ -61,6 +61,11 @@ class Network {
   explicit Network(LinkParams defaults = {}, int io_threads = 32)
       : defaults_(defaults), io_threads_(io_threads) {}
 
+  // Joins the IO pool before the rest of the members are torn down: a still
+  // queued or running SubmitIo/CallAsync task (e.g. a CallAsync whose future
+  // was dropped) may reference nodes_/partitions_/rng state.
+  ~Network();
+
   // Adds a machine to the network and returns its id (ids start at 1).
   NodeId AddNode(std::string name);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstring>
+#include <memory>
 
 #include "src/base/logging.h"
 #include "src/petal/petal_server.h"
@@ -70,41 +71,51 @@ Status PetalClient::ForEachChunk(size_t count, const std::function<Status(size_t
     return OkStatus();
   }
   // Bounded scatter-gather: the caller's thread issues sub-requests onto the
-  // network's IO pool and sleeps when the window is full. Tasks signal under
-  // `mu` so the state below (on this stack frame) cannot be torn down while
-  // a task still references it — the loop only exits once inflight == 0.
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t inflight = 0;
-  bool failed = false;
-  Status first_error;
+  // network's IO pool and sleeps when the window is full. Completion state is
+  // shared-owned by the tasks: a worker finishing its mutex release after the
+  // caller has already observed inflight == 0 and returned must not be left
+  // holding a destroyed mutex/cv. `op` itself can stay by-reference — the
+  // loop only exits once every issued task has finished running it.
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t inflight = 0;
+    bool failed = false;
+    Status first_error;
+  };
+  auto g = std::make_shared<Gather>();
 
   size_t next = 0;
-  std::unique_lock<std::mutex> lk(mu);
-  while (next < count || inflight > 0) {
-    if (next < count && !failed && inflight < window) {
+  std::unique_lock<std::mutex> lk(g->mu);
+  // Stop issuing after the first failure; keep looping only to drain what is
+  // already in flight, else the wait below would sleep forever with unissued
+  // chunks still counted by `next < count`.
+  while ((next < count && !g->failed) || g->inflight > 0) {
+    if (next < count && !g->failed && g->inflight < window) {
       size_t i = next++;
-      ++inflight;
+      size_t now_inflight = ++g->inflight;
       m_inflight_->Add(1);
-      m_inflight_peak_->Max(m_inflight_->value());
+      // Peak from the locally tracked count (exact under `mu`), not a
+      // read-back of the shared gauge that concurrent transfers perturb.
+      m_inflight_peak_->Max(static_cast<int64_t>(now_inflight));
       lk.unlock();
-      net_->SubmitIo([this, &mu, &cv, &inflight, &failed, &first_error, &op, i] {
+      net_->SubmitIo([this, g, &op, i] {
         Status st = op(i);
         m_inflight_->Add(-1);
-        std::lock_guard<std::mutex> guard(mu);
-        --inflight;
-        if (!st.ok() && !failed) {
-          failed = true;
-          first_error = st;
+        std::lock_guard<std::mutex> guard(g->mu);
+        --g->inflight;
+        if (!st.ok() && !g->failed) {
+          g->failed = true;
+          g->first_error = st;
         }
-        cv.notify_all();
+        g->cv.notify_all();
       });
       lk.lock();
     } else {
-      cv.wait(lk);
+      g->cv.wait(lk);
     }
   }
-  return failed ? first_error : OkStatus();
+  return g->failed ? g->first_error : OkStatus();
 }
 
 StatusOr<Bytes> PetalClient::ChunkCall(uint64_t chunk_index, uint32_t method,

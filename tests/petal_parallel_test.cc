@@ -267,6 +267,31 @@ TEST_F(PetalParallelTest, DecommitFailsWhenNoReplicaReachable) {
   }
 }
 
+TEST_F(PetalParallelTest, HardErrorWithMoreChunksThanWindowDoesNotHang) {
+  Build(3, /*io_window=*/4);
+  auto vd = client_->CreateVdisk();
+  ASSERT_TRUE(vd.ok());
+  // 16 chunks through a window of 4 against an unreachable cluster: once the
+  // first chunk fails, the gather loop must drain the in-flight window and
+  // return the error even though most chunks were never issued (regression:
+  // this used to wait forever on a cv nobody would signal).
+  for (NodeId n : nodes_) {
+    net_.SetNodeUp(n, false);
+  }
+  Bytes data = Pattern(16 * kChunkSize, 21);
+  EXPECT_FALSE(client_->Write(*vd, 0, data).ok());
+  Bytes back;
+  EXPECT_FALSE(client_->Read(*vd, 0, data.size(), &back).ok());
+  EXPECT_EQ(obs::MetricsRegistry::Default()->GetGauge("petal.inflight")->value(), 0);
+  for (NodeId n : nodes_) {
+    net_.SetNodeUp(n, true);
+  }
+  // After recovery the same transfer goes through byte-exact.
+  ASSERT_TRUE(client_->Write(*vd, 0, data).ok());
+  ASSERT_TRUE(client_->Read(*vd, 0, data.size(), &back).ok());
+  EXPECT_EQ(back, data);
+}
+
 TEST_F(PetalParallelTest, ConcurrentParallelTransfersFromManyThreads) {
   Build(4);
   auto vd = client_->CreateVdisk();
