@@ -1,0 +1,166 @@
+// Server-side parallelism: T client threads hammer ONE Petal server with
+// 64 KB chunk reads/writes, comparing a 1-shard chunk store (the pre-sharding
+// single-mutex server) against the default 16-shard store on identical
+// PhysDisk settings. The store-copy occupancy model (store_copy_bps) charges
+// the time a shard is busy moving a payload as a real sleep held under the
+// shard lock — the same real-time dilation PhysDisk and Network use — so the
+// serialization difference shows up in wall-clock throughput regardless of
+// host core count: with one shard the charges serialize, with 16 they
+// overlap. petal.store_wait_us (contention) and petal.server_read_us land in
+// the metrics sidecars for the 8-thread point of each mode.
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/base/clock.h"
+#include "src/net/network.h"
+#include "src/obs/metrics.h"
+#include "src/petal/petal_client.h"
+#include "src/petal/petal_server.h"
+
+using namespace frangipani;
+using namespace frangipani::bench;
+
+namespace {
+
+constexpr int kChunks = 64;             // preloaded working set
+constexpr double kRunSeconds = 0.35;    // per (mode, threads) measurement
+constexpr double kStoreCopyBps = 512e6; // 64 KB ≈ 125 us store occupancy
+
+struct Run {
+  double read_mbs = 0;
+  double write_mbs = 0;
+  double store_wait_p99_us = 0;
+};
+
+uint64_t NextChunk(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return (*state >> 33) % kChunks;
+}
+
+// One timed phase: every thread issues back-to-back 64 KB ops against the
+// server from its own client node; returns aggregate MB/s.
+double Hammer(Network* net, const std::vector<NodeId>& client_nodes, NodeId server,
+              VdiskId vd, int threads, bool writes) {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      uint64_t rng = 0x9E3779B9u * (t + 1);
+      Bytes payload;
+      if (writes) {
+        payload.assign(kChunkSize, static_cast<uint8_t>(0xA0 + t));
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t offset = NextChunk(&rng) * kChunkSize;
+        Encoder enc;
+        enc.PutU32(vd);
+        enc.PutU64(offset);
+        if (writes) {
+          enc.PutI64(0);  // no lease fence
+          enc.PutBytes(payload);
+        } else {
+          enc.PutU32(kChunkSize);
+        }
+        StatusOr<Bytes> reply =
+            net->Call(client_nodes[t], server, PetalServer::kServiceName,
+                      writes ? PetalServer::kWrite : PetalServer::kRead, enc.buffer());
+        if (reply.ok()) {
+          ops.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  double t0 = NowSeconds();
+  std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
+  stop.store(true);
+  for (auto& w : workers) {
+    w.join();
+  }
+  double secs = NowSeconds() - t0;
+  return ops.load() * (kChunkSize / 1048576.0) / secs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Server scaling: 64 KB ops against one Petal server\n");
+  std::printf("(store_copy_bps = %.0f MB/s, PhysDisk timing off in both modes)\n\n",
+              kStoreCopyBps / 1e6);
+  std::vector<std::string> rows;
+  const std::vector<int> thread_counts = {1, 2, 4, 8, 16};
+  double shard1_read_at8 = 0;
+  double shard16_read_at8 = 0;
+
+  for (int shards : {1, kPetalStoreShardsDefault}) {
+    Network net;
+    NodeId server_node = net.AddNode("petal0");
+    std::vector<NodeId> client_nodes;
+    for (int t = 0; t < 16; ++t) {
+      client_nodes.push_back(net.AddNode("client" + std::to_string(t)));
+    }
+    PetalServerDurable durable(shards);
+    PetalServerOptions opts;
+    opts.num_disks = 9;
+    opts.disk.timing_enabled = false;
+    opts.store_copy_bps = kStoreCopyBps;
+    std::vector<NodeId> group = {server_node};
+    PetalServer server(&net, server_node, group, group, &durable, opts,
+                       SystemClock::Get());
+
+    NodeId admin = net.AddNode("admin");
+    PetalClient setup(&net, admin, group);
+    if (!setup.RefreshMap().ok()) {
+      return 1;
+    }
+    auto vd = setup.CreateVdisk();
+    if (!vd.ok()) {
+      return 1;
+    }
+    {
+      // Preload the working set (quick even under the store-copy model).
+      Bytes chunk(kChunkSize, 0x5A);
+      for (uint64_t c = 0; c < kChunks; ++c) {
+        if (!setup.Write(*vd, c * kChunkSize, chunk).ok()) {
+          return 1;
+        }
+      }
+    }
+
+    std::printf("store_shards=%d\n", shards);
+    std::printf("threads  read MB/s  write MB/s  store_wait p99 (us)\n");
+    obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+    Histogram* wait = reg->GetHistogram("petal.store_wait_us");
+    for (int threads : thread_counts) {
+      reg->ResetAll();
+      Run run;
+      run.read_mbs = Hammer(&net, client_nodes, server_node, *vd, threads, /*writes=*/false);
+      run.write_mbs = Hammer(&net, client_nodes, server_node, *vd, threads, /*writes=*/true);
+      run.store_wait_p99_us = wait->Percentile(0.99);
+      std::printf("  %2d     %8.1f   %8.1f   %10.1f\n", threads, run.read_mbs,
+                  run.write_mbs, run.store_wait_p99_us);
+      char buf[128];
+      std::snprintf(buf, sizeof(buf), "%s,%d,%d,%.2f,%.2f,%.2f",
+                    shards == 1 ? "serial" : "sharded", shards, threads, run.read_mbs,
+                    run.write_mbs, run.store_wait_p99_us);
+      rows.push_back(buf);
+      if (threads == 8) {
+        (shards == 1 ? shard1_read_at8 : shard16_read_at8) = run.read_mbs;
+        WriteMetricsJson("server_scaling_shard" + std::to_string(shards));
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (shard1_read_at8 > 0) {
+    std::printf("sharded/serial read speedup at 8 threads: %.2fx\n",
+                shard16_read_at8 / shard1_read_at8);
+  }
+  WriteCsv("server_scaling",
+           "mode,shards,threads,read_mbs,write_mbs,store_wait_p99_us", rows);
+  return 0;
+}

@@ -1,9 +1,10 @@
 #include "src/fs/block_cache.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
 
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
 
@@ -12,166 +13,228 @@ BlockCache::BlockCache(BlockDevice* device, LogWriter* wal, BlockCacheOptions op
     : device_(device),
       wal_(wal),
       options_(options),
-      lease_expiry_us_(std::move(lease_expiry_us)) {
+      lease_expiry_us_(std::move(lease_expiry_us)),
+      shards_(options.shards < 1 ? 1 : options.shards) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_hits_ = reg->GetCounter("fs.cache.hits");
   m_misses_ = reg->GetCounter("fs.cache.misses");
+  m_shard_wait_us_ = reg->GetHistogram("fs.cache.shard_wait_us");
+  reg->GetGauge("fs.cache.shards")->Set(static_cast<int64_t>(shards_.size()));
   io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
 }
 
 BlockCache::~BlockCache() = default;
 
+std::unique_lock<std::mutex> BlockCache::LockShard(const Shard& shard) const {
+  std::unique_lock<std::mutex> lk(shard.mu, std::defer_lock);
+  obs::LockTimed(lk, m_shard_wait_us_);
+  return lk;
+}
+
 StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock) {
+  Shard& shard = ShardFor(addr);
+  std::shared_ptr<const Bytes> blob;
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
     // Ride an in-flight prefetch rather than duplicating its device read.
-    cv_.wait(lk, [&] { return prefetch_inflight_.count(addr) == 0; });
-    auto it = entries_.find(addr);
-    if (it != entries_.end()) {
+    shard.cv.wait(lk, [&] { return shard.prefetch_inflight.count(addr) == 0; });
+    auto it = shard.entries.find(addr);
+    if (it != shard.entries.end()) {
       ++hits_;
       m_hits_->Increment();
       it->second.lru_seq = ++lru_counter_;
-      return it->second.data;
+      blob = it->second.data;
+    } else {
+      ++misses_;
+      m_misses_->Increment();
     }
-    ++misses_;
-    m_misses_->Increment();
+  }
+  if (blob != nullptr) {
+    return *blob;  // copied outside the shard lock
   }
   Bytes data;
   RETURN_IF_ERROR(device_->Read(addr, size, &data));
-  std::unique_lock<std::mutex> lk(mu_);
-  auto it = entries_.find(addr);
-  if (it != entries_.end()) {
-    return it->second.data;  // someone raced us in; theirs may be dirtier
+  blob = std::make_shared<const Bytes>(std::move(data));
+  {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    auto it = shard.entries.find(addr);
+    if (it != shard.entries.end()) {
+      blob = it->second.data;  // someone raced us in; theirs may be dirtier
+    } else {
+      Entry e;
+      e.data = blob;
+      e.lock = lock;
+      e.lru_seq = ++lru_counter_;
+      bytes_ += blob->size();
+      shard.entries.emplace(addr, std::move(e));
+      shard.by_lock[lock].insert(addr);
+      EvictShardLocked(shard);
+    }
   }
-  Entry e;
-  e.data = data;
-  e.lock = lock;
-  e.lru_seq = ++lru_counter_;
-  bytes_ += data.size();
-  entries_.emplace(addr, std::move(e));
-  by_lock_[lock].insert(addr);
-  EvictIfNeededLocked(lk);
-  return data;
+  return *blob;
 }
 
 Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  Entry& e = entries_[addr];
-  if (e.data.empty()) {
-    by_lock_[lock].insert(addr);
-  } else {
-    bytes_ -= e.data.size();
-    if (e.dirty) {
-      dirty_bytes_ -= e.data.size();
+  Shard& home = ShardFor(addr);
+  {
+    std::unique_lock<std::mutex> lk = LockShard(home);
+    Entry& e = home.entries[addr];
+    if (e.data == nullptr) {
+      home.by_lock[lock].insert(addr);
+    } else {
+      bytes_ -= e.data->size();
+      if (e.dirty) {
+        dirty_bytes_ -= e.data->size();
+      }
     }
+    e.lock = lock;
+    e.data = std::make_shared<const Bytes>(std::move(data));
+    e.dirty = true;
+    e.dirty_gen++;
+    e.pin_lsn = std::max(e.pin_lsn, pin_lsn);
+    e.lru_seq = ++lru_counter_;
+    bytes_ += e.data->size();
+    dirty_bytes_ += e.data->size();
+    EvictShardLocked(home);
   }
-  e.lock = lock;
-  e.data = std::move(data);
-  e.dirty = true;
-  e.dirty_gen++;
-  e.pin_lsn = std::max(e.pin_lsn, pin_lsn);
-  e.lru_seq = ++lru_counter_;
-  bytes_ += e.data.size();
-  dirty_bytes_ += e.data.size();
-
-  EvictIfNeededLocked(lk);
 
   // Write throttling / write-behind: bring dirty data back under control.
-  while (dirty_bytes_ > options_.dirty_hiwater_bytes) {
-    std::vector<std::pair<uint64_t, uint64_t>> dirty;  // (lru, addr)
-    for (const auto& [a, entry] : entries_) {
-      if (entry.dirty && !entry.flushing) {
-        dirty.emplace_back(entry.lru_seq, a);
+  // Candidates are gathered across all shards (oldest first, globally), then
+  // flushed shard by shard.
+  while (dirty_bytes_.load() > options_.dirty_hiwater_bytes) {
+    struct Cand {
+      uint64_t lru;
+      uint64_t addr;
+      size_t size;
+      size_t shard;
+    };
+    std::vector<Cand> dirty;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = shards_[s];
+      std::unique_lock<std::mutex> lk = LockShard(shard);
+      for (const auto& [a, entry] : shard.entries) {
+        if (entry.dirty && !entry.flushing) {
+          dirty.push_back({entry.lru_seq, a, entry.data->size(), s});
+        }
       }
     }
     if (dirty.empty()) {
-      // Everything dirty is already being flushed; wait for progress.
-      cv_.wait(lk);
+      // Everything dirty is already being flushed; wait for progress. The
+      // timeout covers a flush that completed between our scan and the wait.
+      std::unique_lock<std::mutex> tlk(throttle_mu_);
+      throttle_cv_.wait_for(tlk, std::chrono::milliseconds(1));
       continue;
     }
-    std::sort(dirty.begin(), dirty.end());
+    std::sort(dirty.begin(), dirty.end(),
+              [](const Cand& a, const Cand& b) { return a.lru < b.lru; });
     size_t target = options_.dirty_hiwater_bytes / 2;
-    std::vector<uint64_t> addrs;
+    size_t start_dirty = dirty_bytes_.load();
+    std::vector<std::vector<uint64_t>> per_shard(shards_.size());
     size_t would_free = 0;
-    for (const auto& [lru, a] : dirty) {
-      addrs.push_back(a);
-      would_free += entries_[a].data.size();
-      if (dirty_bytes_ - would_free <= target) {
+    for (const Cand& c : dirty) {
+      per_shard[c.shard].push_back(c.addr);
+      would_free += c.size;
+      if (start_dirty - would_free <= target) {
         break;
       }
     }
-    RETURN_IF_ERROR(FlushSetLocked(addrs, lk));
+    Status st = OkStatus();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (per_shard[s].empty()) {
+        continue;
+      }
+      std::unique_lock<std::mutex> lk = LockShard(shards_[s]);
+      Status one = FlushShardSetLocked(shards_[s], per_shard[s], lk);
+      if (!one.ok() && st.ok()) {
+        st = one;
+      }
+    }
+    RETURN_IF_ERROR(st);
   }
   return OkStatus();
 }
 
 void BlockCache::PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch) {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto eit = epochs_.find(lock);
-  uint64_t current = eit == epochs_.end() ? 0 : eit->second;
-  if (current != epoch || entries_.count(addr) > 0) {
-    return;  // lock was invalidated since the prefetch was issued, or raced
+  Shard& shard = ShardFor(addr);
+  std::unique_lock<std::mutex> lk = LockShard(shard);
+  {
+    // Epoch check while holding the shard lock: an invalidation bumps the
+    // epoch before it sweeps the shards, so either we see the bump here or
+    // the sweep (which follows the same shard lock) sees our entry.
+    std::lock_guard<std::mutex> eguard(epoch_mu_);
+    auto eit = epochs_.find(lock);
+    uint64_t current = eit == epochs_.end() ? 0 : eit->second;
+    if (current != epoch) {
+      return;  // lock was invalidated since the prefetch was issued
+    }
+  }
+  if (shard.entries.count(addr) > 0) {
+    return;  // raced with a demand read
   }
   Entry e;
   e.lock = lock;
   e.lru_seq = ++lru_counter_;
-  bytes_ += data.size();
-  e.data = std::move(data);
-  entries_.emplace(addr, std::move(e));
-  by_lock_[lock].insert(addr);
-  EvictIfNeededLocked(lk);
+  e.data = std::make_shared<const Bytes>(std::move(data));
+  bytes_ += e.data->size();
+  shard.entries.emplace(addr, std::move(e));
+  shard.by_lock[lock].insert(addr);
+  EvictShardLocked(shard);
 }
 
 bool BlockCache::BeginPrefetch(uint64_t addr, LockId lock) {
-  std::lock_guard<std::mutex> guard(mu_);
-  if (entries_.count(addr) > 0 || prefetch_inflight_.count(addr) > 0) {
+  Shard& shard = ShardFor(addr);
+  std::unique_lock<std::mutex> lk = LockShard(shard);
+  if (shard.entries.count(addr) > 0 || shard.prefetch_inflight.count(addr) > 0) {
     return false;
   }
-  prefetch_inflight_.insert(addr);
-  prefetch_by_lock_[lock]++;
+  shard.prefetch_inflight.insert(addr);
+  shard.prefetch_by_lock[lock]++;
   return true;
 }
 
 void BlockCache::EndPrefetch(uint64_t addr, LockId lock) {
+  Shard& shard = ShardFor(addr);
   {
-    std::lock_guard<std::mutex> guard(mu_);
-    prefetch_inflight_.erase(addr);
-    if (--prefetch_by_lock_[lock] <= 0) {
-      prefetch_by_lock_.erase(lock);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    shard.prefetch_inflight.erase(addr);
+    if (--shard.prefetch_by_lock[lock] <= 0) {
+      shard.prefetch_by_lock.erase(lock);
     }
   }
-  cv_.notify_all();
+  shard.cv.notify_all();
 }
 
 uint64_t BlockCache::LockEpoch(LockId lock) const {
-  std::lock_guard<std::mutex> guard(mu_);
+  std::lock_guard<std::mutex> guard(epoch_mu_);
   auto it = epochs_.find(lock);
   return it == epochs_.end() ? 0 : it->second;
 }
 
 bool BlockCache::Cached(uint64_t addr) const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return entries_.count(addr) > 0;
+  const Shard& shard = ShardFor(addr);
+  std::unique_lock<std::mutex> lk = LockShard(shard);
+  return shard.entries.count(addr) > 0;
 }
 
-Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
-                                  std::unique_lock<std::mutex>& lk) {
-  // Wait out any in-flight flushes of these entries, then claim them.
+Status BlockCache::FlushShardSetLocked(Shard& shard, const std::vector<uint64_t>& addrs,
+                                       std::unique_lock<std::mutex>& lk) {
+  // Wait out any in-flight flushes of these entries, then claim them. The
+  // payload is pinned by shared_ptr, not copied, while the lock is held.
   struct Job {
     uint64_t addr;
-    Bytes data;
+    std::shared_ptr<const Bytes> data;
     uint64_t gen;
     uint64_t pin_lsn;
   };
   std::vector<Job> jobs;
   for (uint64_t addr : addrs) {
     for (;;) {
-      auto it = entries_.find(addr);
-      if (it == entries_.end() || !it->second.dirty) {
+      auto it = shard.entries.find(addr);
+      if (it == shard.entries.end() || !it->second.dirty) {
         break;
       }
       if (it->second.flushing) {
-        cv_.wait(lk);
+        shard.cv.wait(lk);
         continue;
       }
       it->second.flushing = true;
@@ -199,7 +262,8 @@ Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
     // Coalesce address-adjacent dirty blocks into contiguous device writes
     // (sequential file data flushes mostly adjacent 4 KB blocks); each run
     // is one transfer that the Petal client then scatter-gathers across
-    // servers. Runs are written concurrently by the IO pool.
+    // servers. Runs are written concurrently by the IO pool. A run is at
+    // most 256 KB, i.e. at most one shard region, by construction.
     std::sort(jobs.begin(), jobs.end(),
               [](const Job& a, const Job& b) { return a.addr < b.addr; });
     constexpr size_t kMaxRunBytes = 256 << 10;
@@ -212,8 +276,8 @@ Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
       if (!runs.empty()) {
         Run& r = runs.back();
         const Job& prev = jobs[i - 1];
-        size_t run_bytes = jobs[i].addr + jobs[i].data.size() - jobs[r.first_job].addr;
-        if (prev.addr + prev.data.size() == jobs[i].addr && run_bytes <= kMaxRunBytes) {
+        size_t run_bytes = jobs[i].addr + jobs[i].data->size() - jobs[r.first_job].addr;
+        if (prev.addr + prev.data->size() == jobs[i].addr && run_bytes <= kMaxRunBytes) {
           ++r.num_jobs;
           continue;
         }
@@ -229,15 +293,15 @@ Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
         const Run& run = runs[r];
         if (run.num_jobs == 1) {
           const Job& j = jobs[run.first_job];
-          run_results[r] = device_->Write(j.addr, j.data, fence);
+          run_results[r] = device_->Write(j.addr, *j.data, fence);
         } else {
           Bytes merged;
           size_t total = jobs[run.first_job + run.num_jobs - 1].addr +
-                         jobs[run.first_job + run.num_jobs - 1].data.size() -
+                         jobs[run.first_job + run.num_jobs - 1].data->size() -
                          jobs[run.first_job].addr;
           merged.reserve(total);
           for (size_t k = 0; k < run.num_jobs; ++k) {
-            const Bytes& d = jobs[run.first_job + k].data;
+            const Bytes& d = *jobs[run.first_job + k].data;
             merged.insert(merged.end(), d.begin(), d.end());
           }
           run_results[r] = device_->Write(jobs[run.first_job].addr, merged, fence);
@@ -263,136 +327,172 @@ Status BlockCache::FlushSetLocked(const std::vector<uint64_t>& addrs,
 
   lk.lock();
   for (size_t i = 0; i < jobs.size(); ++i) {
-    auto it = entries_.find(jobs[i].addr);
-    if (it == entries_.end()) {
+    auto it = shard.entries.find(jobs[i].addr);
+    if (it == shard.entries.end()) {
       continue;  // discarded while we wrote (lease loss)
     }
     it->second.flushing = false;
     if (st.ok() && results[i].ok() && it->second.dirty_gen == jobs[i].gen) {
       it->second.dirty = false;
       it->second.pin_lsn = 0;
-      dirty_bytes_ -= it->second.data.size();
+      dirty_bytes_ -= it->second.data->size();
     }
   }
   // Dirty data can push the cache past its capacity (dirty entries are not
   // evictable); reclaim now that some entries are clean again.
-  EvictIfNeededLocked(lk);
-  cv_.notify_all();
+  EvictShardLocked(shard);
+  shard.cv.notify_all();
+  throttle_cv_.notify_all();
   return st;
 }
 
-Status BlockCache::FlushEntryLocked(uint64_t addr, std::unique_lock<std::mutex>& lk) {
-  return FlushSetLocked({addr}, lk);
-}
-
 Status BlockCache::FlushLock(LockId lock) {
-  std::unique_lock<std::mutex> lk(mu_);
-  auto it = by_lock_.find(lock);
-  if (it == by_lock_.end()) {
-    return OkStatus();
+  Status st = OkStatus();
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    auto it = shard.by_lock.find(lock);
+    if (it == shard.by_lock.end()) {
+      continue;
+    }
+    std::vector<uint64_t> addrs(it->second.begin(), it->second.end());
+    Status one = FlushShardSetLocked(shard, addrs, lk);
+    if (!one.ok() && st.ok()) {
+      st = one;
+    }
   }
-  std::vector<uint64_t> addrs(it->second.begin(), it->second.end());
-  return FlushSetLocked(addrs, lk);
+  return st;
 }
 
 void BlockCache::InvalidateLock(LockId lock) {
-  std::unique_lock<std::mutex> lk(mu_);
-  epochs_[lock]++;
-  // Wait out in-flight read-ahead under this lock: the prefetched data will
-  // be discarded, and the time to finish reading it delays the handoff.
-  cv_.wait(lk, [&] { return prefetch_by_lock_.count(lock) == 0; });
-  auto it = by_lock_.find(lock);
-  if (it == by_lock_.end()) {
-    return;
+  {
+    // Bump the epoch before sweeping so a prefetch completing mid-sweep
+    // cannot repopulate a shard we already cleaned (PutPrefetched re-checks
+    // the epoch under its shard lock).
+    std::lock_guard<std::mutex> eguard(epoch_mu_);
+    epochs_[lock]++;
   }
-  for (uint64_t addr : it->second) {
-    auto eit = entries_.find(addr);
-    if (eit == entries_.end()) {
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    // Wait out in-flight read-ahead under this lock: the prefetched data
+    // will be discarded, and the time to finish reading it delays the
+    // handoff.
+    shard.cv.wait(lk, [&] { return shard.prefetch_by_lock.count(lock) == 0; });
+    auto it = shard.by_lock.find(lock);
+    if (it == shard.by_lock.end()) {
       continue;
     }
-    // Callers flush before invalidating; anything still dirty here is being
-    // dropped deliberately (it must not be written after the lock moves on).
-    bytes_ -= eit->second.data.size();
-    if (eit->second.dirty) {
-      dirty_bytes_ -= eit->second.data.size();
+    for (uint64_t addr : it->second) {
+      auto eit = shard.entries.find(addr);
+      if (eit == shard.entries.end()) {
+        continue;
+      }
+      // Callers flush before invalidating; anything still dirty here is
+      // being dropped deliberately (it must not be written after the lock
+      // moves on).
+      bytes_ -= eit->second.data->size();
+      if (eit->second.dirty) {
+        dirty_bytes_ -= eit->second.data->size();
+      }
+      shard.entries.erase(eit);
     }
-    entries_.erase(eit);
+    shard.by_lock.erase(it);
+    shard.cv.notify_all();
   }
-  by_lock_.erase(it);
-  cv_.notify_all();
+  throttle_cv_.notify_all();
 }
 
 Status BlockCache::FlushAll() {
-  std::unique_lock<std::mutex> lk(mu_);
-  std::vector<uint64_t> addrs;
-  for (const auto& [addr, e] : entries_) {
-    if (e.dirty) {
-      addrs.push_back(addr);
+  Status st = OkStatus();
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    std::vector<uint64_t> addrs;
+    for (const auto& [addr, e] : shard.entries) {
+      if (e.dirty) {
+        addrs.push_back(addr);
+      }
+    }
+    Status one = FlushShardSetLocked(shard, addrs, lk);
+    if (!one.ok() && st.ok()) {
+      st = one;
     }
   }
-  return FlushSetLocked(addrs, lk);
+  return st;
 }
 
 Status BlockCache::FlushPinnedUpTo(uint64_t lsn) {
-  std::unique_lock<std::mutex> lk(mu_);
-  std::vector<uint64_t> addrs;
-  for (const auto& [addr, e] : entries_) {
-    if (e.dirty && e.pin_lsn != 0 && e.pin_lsn <= lsn) {
-      addrs.push_back(addr);
+  Status st = OkStatus();
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    std::vector<uint64_t> addrs;
+    for (const auto& [addr, e] : shard.entries) {
+      if (e.dirty && e.pin_lsn != 0 && e.pin_lsn <= lsn) {
+        addrs.push_back(addr);
+      }
+    }
+    Status one = FlushShardSetLocked(shard, addrs, lk);
+    if (!one.ok() && st.ok()) {
+      st = one;
     }
   }
-  return FlushSetLocked(addrs, lk);
+  return st;
 }
 
 void BlockCache::DiscardAll() {
-  std::lock_guard<std::mutex> guard(mu_);
-  entries_.clear();
-  by_lock_.clear();
-  for (auto& [lock, epoch] : epochs_) {
-    ++epoch;
+  {
+    std::lock_guard<std::mutex> eguard(epoch_mu_);
+    for (auto& [lock, epoch] : epochs_) {
+      ++epoch;
+    }
   }
-  bytes_ = 0;
-  dirty_bytes_ = 0;
-  cv_.notify_all();
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    for (const auto& [addr, e] : shard.entries) {
+      bytes_ -= e.data->size();
+      if (e.dirty) {
+        dirty_bytes_ -= e.data->size();
+      }
+    }
+    shard.entries.clear();
+    shard.by_lock.clear();
+    shard.cv.notify_all();
+  }
+  throttle_cv_.notify_all();
 }
 
 void BlockCache::DropClean() {
-  std::lock_guard<std::mutex> guard(mu_);
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    if (!it->second.dirty && !it->second.flushing) {
-      bytes_ -= it->second.data.size();
-      by_lock_[it->second.lock].erase(it->first);
-      it = entries_.erase(it);
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      if (!it->second.dirty && !it->second.flushing) {
+        bytes_ -= it->second.data->size();
+        shard.by_lock[it->second.lock].erase(it->first);
+        it = shard.entries.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-size_t BlockCache::dirty_bytes() const {
-  std::lock_guard<std::mutex> guard(mu_);
-  return dirty_bytes_;
-}
-
-void BlockCache::EvictIfNeededLocked(std::unique_lock<std::mutex>& lk) {
-  if (bytes_ <= options_.capacity_bytes) {
+void BlockCache::EvictShardLocked(Shard& shard) {
+  if (bytes_.load() <= options_.capacity_bytes) {
     return;
   }
   std::vector<std::pair<uint64_t, uint64_t>> clean;  // (lru, addr)
-  for (const auto& [addr, e] : entries_) {
+  for (const auto& [addr, e] : shard.entries) {
     if (!e.dirty && !e.flushing) {
       clean.emplace_back(e.lru_seq, addr);
     }
   }
   std::sort(clean.begin(), clean.end());
   for (const auto& [lru, addr] : clean) {
-    if (bytes_ <= options_.capacity_bytes) {
+    if (bytes_.load() <= options_.capacity_bytes) {
       break;
     }
-    auto it = entries_.find(addr);
-    bytes_ -= it->second.data.size();
-    by_lock_[it->second.lock].erase(addr);
-    entries_.erase(it);
+    auto it = shard.entries.find(addr);
+    bytes_ -= it->second.data->size();
+    shard.by_lock[it->second.lock].erase(addr);
+    shard.entries.erase(it);
   }
 }
 

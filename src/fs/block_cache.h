@@ -13,16 +13,27 @@
 // IO threads, which is what pipelines large writes across Petal servers.
 // Prefetch inserts are epoch-guarded: an invalidation bumps the lock's epoch
 // so a read-ahead racing with a revoke cannot repopulate stale data.
+//
+// The cache is sharded by 256 KB address region (the flush-run coalescing
+// bound), so concurrent hits on different regions never touch the same
+// mutex and a coalesced flush run always stays within one shard. Block
+// payloads are held behind shared_ptr<const Bytes> — a payload is only ever
+// replaced wholesale, never mutated in place — so the hit path snapshots the
+// pointer under the shard lock and copies outside it, and flush jobs pin
+// payloads without copying. Byte/hit accounting is process-wide atomics;
+// lock epochs live under their own mutex (shard.mu -> epoch_mu_ order).
 #ifndef SRC_FS_BLOCK_CACHE_H_
 #define SRC_FS_BLOCK_CACHE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <functional>
-#include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "src/base/status.h"
 #include "src/base/thread_pool.h"
@@ -37,6 +48,7 @@ struct BlockCacheOptions {
   size_t capacity_bytes = 64 << 20;
   size_t dirty_hiwater_bytes = 8 << 20;
   int io_threads = 8;
+  int shards = 16;
 };
 
 class BlockCache {
@@ -89,13 +101,13 @@ class BlockCache {
   // uncached-read experiments, as the paper does in §9.2).
   void DropClean();
 
-  size_t dirty_bytes() const;
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  size_t dirty_bytes() const { return dirty_bytes_.load(); }
+  uint64_t hits() const { return hits_.load(); }
+  uint64_t misses() const { return misses_.load(); }
 
  private:
   struct Entry {
-    Bytes data;
+    std::shared_ptr<const Bytes> data;
     LockId lock = 0;
     bool dirty = false;
     bool flushing = false;
@@ -104,32 +116,61 @@ class BlockCache {
     uint64_t lru_seq = 0;
   };
 
-  // Writes one entry out (WAL first). Called with mu_ held; drops and
-  // re-acquires it around IO.
-  Status FlushEntryLocked(uint64_t addr, std::unique_lock<std::mutex>& lk);
-  Status FlushSetLocked(const std::vector<uint64_t>& addrs, std::unique_lock<std::mutex>& lk);
-  void EvictIfNeededLocked(std::unique_lock<std::mutex>& lk);
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, Entry> entries;
+    std::map<LockId, std::set<uint64_t>> by_lock;
+    std::set<uint64_t> prefetch_inflight;
+    std::map<LockId, int> prefetch_by_lock;
+  };
+
+  // Shard by 256 KB region so the ≤256 KB coalesced flush runs (see
+  // FlushShardSetLocked) never span shards.
+  static constexpr int kShardRegionShift = 18;
+  size_t ShardIndex(uint64_t addr) const {
+    return (addr >> kShardRegionShift) % shards_.size();
+  }
+  Shard& ShardFor(uint64_t addr) { return shards_[ShardIndex(addr)]; }
+  const Shard& ShardFor(uint64_t addr) const { return shards_[ShardIndex(addr)]; }
+
+  // Acquires `shard.mu`, recording the wait in fs.cache.shard_wait_us.
+  std::unique_lock<std::mutex> LockShard(const Shard& shard) const;
+
+  // Writes the given entries of one shard out (WAL first). Called with
+  // `shard.mu` held via `lk`; drops and re-acquires it around IO.
+  Status FlushShardSetLocked(Shard& shard, const std::vector<uint64_t>& addrs,
+                             std::unique_lock<std::mutex>& lk);
+  // Evicts clean LRU entries from `shard` while the cache as a whole is over
+  // capacity. Caller holds `shard.mu`.
+  void EvictShardLocked(Shard& shard);
 
   BlockDevice* device_;
   LogWriter* wal_;
   BlockCacheOptions options_;
   std::function<int64_t()> lease_expiry_us_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  std::map<LockId, std::set<uint64_t>> by_lock_;
+  std::vector<Shard> shards_;
+
+  // Lock epochs are global (a lock covers addresses in many shards). Lock
+  // order: shard.mu before epoch_mu_; never the reverse.
+  mutable std::mutex epoch_mu_;
   std::map<LockId, uint64_t> epochs_;
-  std::set<uint64_t> prefetch_inflight_;
-  std::map<LockId, int> prefetch_by_lock_;
-  size_t bytes_ = 0;
-  size_t dirty_bytes_ = 0;
-  uint64_t lru_counter_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+
+  // Write throttling: PutDirty waits here when every dirty entry is already
+  // being flushed; flush completions in any shard notify.
+  std::mutex throttle_mu_;
+  std::condition_variable throttle_cv_;
+
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> dirty_bytes_{0};
+  std::atomic<uint64_t> lru_counter_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
   // Registry aggregates (process-wide, across all fs instances).
   obs::Counter* m_hits_;
   obs::Counter* m_misses_;
+  Histogram* m_shard_wait_us_;
 
   std::unique_ptr<ThreadPool> io_pool_;
 };

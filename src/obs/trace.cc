@@ -30,6 +30,16 @@ const char* LayerName(Layer layer) {
   return "?";
 }
 
+void LockTimed(std::unique_lock<std::mutex>& lk, Histogram* wait_us) {
+  if (lk.try_lock()) {
+    wait_us->Record(0);
+    return;
+  }
+  int64_t t0 = MonotonicNs();
+  lk.lock();
+  wait_us->Record(static_cast<double>(MonotonicNs() - t0) * 1e-3);
+}
+
 OpMetrics OpMetrics::For(MetricsRegistry* registry, const std::string& op) {
   OpMetrics m;
   m.count = registry->GetCounter("op." + op + ".count");

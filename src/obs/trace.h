@@ -21,6 +21,7 @@
 #define SRC_OBS_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "src/obs/metrics.h"
@@ -78,6 +79,13 @@ class OpTrace {
   bool active_;
   TraceState state_;
 };
+
+// Acquires a deferred unique_lock, recording the time spent blocked on the
+// mutex into `wait_us` (microseconds). The uncontended path is one try_lock
+// and a zero record — cheap enough for per-operation shard locks. This is
+// how the sharded stores (petal.store_wait_us, fs.cache.shard_wait_us)
+// expose their contention.
+void LockTimed(std::unique_lock<std::mutex>& lk, Histogram* wait_us);
 
 class LayerTimer {
  public:

@@ -1,10 +1,37 @@
 #include "src/petal/petal_server.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "src/base/logging.h"
+#include "src/obs/trace.h"
 
 namespace frangipani {
+
+bool PetalServerDurable::HasChunk(const ChunkKey& key) {
+  PetalStoreShard& shard = ShardFor(key.index);
+  std::lock_guard<std::mutex> guard(shard.mu);
+  return shard.chunks.count(key) > 0;
+}
+
+uint64_t PetalServerDurable::TotalChunks() {
+  uint64_t n = 0;
+  for (PetalStoreShard& shard : shards) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    n += shard.chunks.size();
+  }
+  return n;
+}
+
+uint64_t PetalServerDurable::TotalBlobs() {
+  uint64_t n = 0;
+  for (PetalStoreShard& shard : shards) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    n += shard.blobs.size();
+  }
+  return n;
+}
 
 PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_group,
                          std::vector<NodeId> initial_active, PetalServerDurable* durable,
@@ -16,7 +43,7 @@ PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_gr
       clock_(clock),
       ready_(options.initially_ready) {
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
+    std::lock_guard<std::mutex> guard(durable_->disks_mu);
     if (durable_->disks.empty()) {
       for (int i = 0; i < options_.num_disks; ++i) {
         durable_->disks.push_back(std::make_unique<PhysDisk>(options_.disk));
@@ -26,6 +53,10 @@ PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_gr
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_repl_msgs_ = reg->GetCounter("petal.server.repl_msgs");
   m_repl_bytes_ = reg->GetCounter("petal.server.repl_bytes");
+  m_store_wait_us_ = reg->GetHistogram("petal.store_wait_us");
+  m_server_read_us_ = reg->GetHistogram("petal.server_read_us");
+  m_server_write_us_ = reg->GetHistogram("petal.server_write_us");
+  reg->GetGauge("petal.store_shards")->Set(static_cast<int64_t>(durable_->shards.size()));
   map_.servers = std::move(initial_active);
   paxos_ = std::make_unique<PaxosPeer>(
       net_, self_, std::move(paxos_group), &durable_->paxos,
@@ -52,28 +83,34 @@ void PetalServer::OnApply(uint64_t index, const Bytes& raw_cmd) {
        cmd->kind == PetalCommandKind::kCloneVdisk) &&
       result != kInvalidVdisk) {
     // COW: the snapshot shares every blob the source currently has here.
-    std::lock_guard<std::mutex> store_guard(durable_->mu);
-    std::vector<std::pair<ChunkKey, uint64_t>> to_copy;
-    for (const auto& [key, handle] : durable_->chunks) {
-      if (key.vdisk == cmd->vdisk) {
-        to_copy.emplace_back(ChunkKey{result, key.index}, handle);
+    // A blob's chunk index (and thus shard) is the same for source and
+    // snapshot, so each shard can be processed independently.
+    for (PetalStoreShard& shard : durable_->shards) {
+      std::lock_guard<std::mutex> store_guard(shard.mu);
+      std::vector<std::pair<ChunkKey, uint64_t>> to_copy;
+      for (const auto& [key, handle] : shard.chunks) {
+        if (key.vdisk == cmd->vdisk) {
+          to_copy.emplace_back(ChunkKey{result, key.index}, handle);
+        }
       }
-    }
-    for (const auto& [key, handle] : to_copy) {
-      durable_->chunks[key] = handle;
-      durable_->blobs[handle].refs++;
+      for (const auto& [key, handle] : to_copy) {
+        shard.chunks[key] = handle;
+        shard.blobs[handle].refs++;
+      }
     }
   }
   if (cmd->kind == PetalCommandKind::kDeleteVdisk) {
-    std::lock_guard<std::mutex> store_guard(durable_->mu);
-    std::vector<ChunkKey> to_drop;
-    for (const auto& [key, handle] : durable_->chunks) {
-      if (key.vdisk == cmd->vdisk) {
-        to_drop.push_back(key);
+    for (PetalStoreShard& shard : durable_->shards) {
+      std::lock_guard<std::mutex> store_guard(shard.mu);
+      std::vector<ChunkKey> to_drop;
+      for (const auto& [key, handle] : shard.chunks) {
+        if (key.vdisk == cmd->vdisk) {
+          to_drop.push_back(key);
+        }
       }
-    }
-    for (const ChunkKey& key : to_drop) {
-      DropChunkLocked(key);
+      for (const ChunkKey& key : to_drop) {
+        DropChunkLocked(shard, key);
+      }
     }
   }
   if (cmd->nonce != 0) {
@@ -153,65 +190,79 @@ PetalGlobalMap PetalServer::MapSnapshot() const {
   return map_;
 }
 
-uint64_t PetalServer::chunk_count() const {
-  std::lock_guard<std::mutex> guard(durable_->mu);
-  return durable_->chunks.size();
-}
+uint64_t PetalServer::chunk_count() const { return durable_->TotalChunks(); }
 
 PhysDisk& PetalServer::DiskFor(uint64_t chunk_index) {
   return *durable_->disks[chunk_index % durable_->disks.size()];
 }
 
-BlobMeta* PetalServer::FindChunkLocked(const ChunkKey& key) {
-  auto it = durable_->chunks.find(key);
-  if (it == durable_->chunks.end()) {
-    return nullptr;
-  }
-  return &durable_->blobs[it->second];
+std::unique_lock<std::mutex> PetalServer::LockShard(PetalStoreShard& shard) {
+  std::unique_lock<std::mutex> lk(shard.mu, std::defer_lock);
+  obs::LockTimed(lk, m_store_wait_us_);
+  return lk;
 }
 
-uint64_t PetalServer::ApplyWriteLocked(const ChunkKey& key, uint32_t offset_in_chunk,
-                                       const Bytes& data, uint64_t forced_version) {
-  auto it = durable_->chunks.find(key);
+void PetalServer::ChargeStoreLocked(size_t bytes) {
+  if (options_.store_copy_bps <= 0 || bytes == 0) {
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      static_cast<double>(bytes) / options_.store_copy_bps));
+}
+
+BlobMeta* PetalServer::FindChunkLocked(PetalStoreShard& shard, const ChunkKey& key) {
+  auto it = shard.chunks.find(key);
+  if (it == shard.chunks.end()) {
+    return nullptr;
+  }
+  return &shard.blobs[it->second];
+}
+
+uint64_t PetalServer::ApplyWriteLocked(PetalStoreShard& shard, const ChunkKey& key,
+                                       uint32_t offset_in_chunk, const Bytes& data,
+                                       uint64_t forced_version) {
+  auto it = shard.chunks.find(key);
   uint64_t handle;
-  if (it == durable_->chunks.end()) {
-    handle = durable_->next_handle++;
-    BlobMeta& blob = durable_->blobs[handle];
+  if (it == shard.chunks.end()) {
+    handle = shard.next_handle++;
+    BlobMeta& blob = shard.blobs[handle];
     blob.refs = 1;
     blob.data.assign(kChunkSize, 0);
-    durable_->chunks[key] = handle;
+    shard.chunks[key] = handle;
   } else {
     handle = it->second;
-    BlobMeta& blob = durable_->blobs[handle];
+    BlobMeta& blob = shard.blobs[handle];
     if (blob.refs > 1) {
       // Copy-on-write: the blob is shared with a snapshot.
-      uint64_t fresh = durable_->next_handle++;
-      BlobMeta& copy = durable_->blobs[fresh];
+      uint64_t fresh = shard.next_handle++;
+      BlobMeta& copy = shard.blobs[fresh];
       copy.refs = 1;
-      copy.version = durable_->blobs[handle].version;
-      copy.data = durable_->blobs[handle].data;
-      durable_->blobs[handle].refs--;
-      durable_->chunks[key] = fresh;
+      copy.version = shard.blobs[handle].version;
+      copy.data = shard.blobs[handle].data;
+      shard.blobs[handle].refs--;
+      shard.chunks[key] = fresh;
       handle = fresh;
+      ChargeStoreLocked(kChunkSize);  // the COW copy itself
     }
   }
-  BlobMeta& blob = durable_->blobs[handle];
+  BlobMeta& blob = shard.blobs[handle];
   FGP_CHECK(offset_in_chunk + data.size() <= kChunkSize);
   std::copy(data.begin(), data.end(), blob.data.begin() + offset_in_chunk);
   blob.version = forced_version != 0 ? forced_version : blob.version + 1;
+  ChargeStoreLocked(data.size());
   return blob.version;
 }
 
-void PetalServer::DropChunkLocked(const ChunkKey& key) {
-  auto it = durable_->chunks.find(key);
-  if (it == durable_->chunks.end()) {
+void PetalServer::DropChunkLocked(PetalStoreShard& shard, const ChunkKey& key) {
+  auto it = shard.chunks.find(key);
+  if (it == shard.chunks.end()) {
     return;
   }
   uint64_t handle = it->second;
-  durable_->chunks.erase(it);
-  BlobMeta& blob = durable_->blobs[handle];
+  shard.chunks.erase(it);
+  BlobMeta& blob = shard.blobs[handle];
   if (--blob.refs == 0) {
-    durable_->blobs.erase(handle);
+    shard.blobs.erase(handle);
   }
 }
 
@@ -245,13 +296,15 @@ void PetalServer::ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, c
     Bytes full;
     uint64_t full_version = 0;
     {
-      std::lock_guard<std::mutex> guard(durable_->mu);
-      BlobMeta* blob = FindChunkLocked(key);
+      PetalStoreShard& shard = durable_->ShardFor(key.index);
+      std::unique_lock<std::mutex> lk = LockShard(shard);
+      BlobMeta* blob = FindChunkLocked(shard, key);
       if (blob == nullptr) {
         return;
       }
       full = blob->data;
       full_version = blob->version;
+      ChargeStoreLocked(full.size());
     }
     Encoder push;
     push.PutU32(key.vdisk);
@@ -316,6 +369,7 @@ StatusOr<Bytes> PetalServer::Handle(uint32_t method, const Bytes& request, NodeI
 }
 
 StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
+  obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_read_us_);
   VdiskId vdisk = dec.GetU32();
   uint64_t offset = dec.GetU64();
   uint32_t length = dec.GetU32();
@@ -342,11 +396,13 @@ StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
   Bytes out;
   bool found = false;
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    PetalStoreShard& shard = durable_->ShardFor(index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, {vdisk, index});
     if (blob != nullptr) {
       found = true;
       out.assign(blob->data.begin() + off_in_chunk, blob->data.begin() + off_in_chunk + length);
+      ChargeStoreLocked(length);
     }
   }
   if (!found) {
@@ -359,6 +415,7 @@ StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
 }
 
 StatusOr<Bytes> PetalServer::DoWrite(Decoder& dec) {
+  obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_write_us_);
   VdiskId vdisk = dec.GetU32();
   uint64_t offset = dec.GetU64();
   int64_t lease_expiry_us = dec.GetI64();
@@ -396,17 +453,29 @@ StatusOr<Bytes> PetalServer::DoWrite(Decoder& dec) {
     }
   }
   uint32_t off_in_chunk = static_cast<uint32_t>(offset & kChunkMask);
-  DiskFor(index).ChargeWrite(offset, data.size());
   uint64_t version;
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    version = ApplyWriteLocked({vdisk, index}, off_in_chunk, data, 0);
+    PetalStoreShard& shard = durable_->ShardFor(index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    version = ApplyWriteLocked(shard, {vdisk, index}, off_in_chunk, data, 0);
   }
-  ForwardToPeer({vdisk, index}, off_in_chunk, data, version);
+  // The modeled disk charge and the synchronous replica forward are
+  // independent once the blob is updated: issue both and join, so the ack
+  // pays max(disk, RTT) instead of their sum. The extra thread is only
+  // worth it when the disk model actually sleeps.
+  if (options_.disk.timing_enabled) {
+    std::thread disk_charge([&] { DiskFor(index).ChargeWrite(offset, data.size()); });
+    ForwardToPeer({vdisk, index}, off_in_chunk, data, version);
+    disk_charge.join();
+  } else {
+    DiskFor(index).ChargeWrite(offset, data.size());
+    ForwardToPeer({vdisk, index}, off_in_chunk, data, version);
+  }
   return Bytes{};
 }
 
 StatusOr<Bytes> PetalServer::DoReplicaWrite(Decoder& dec) {
+  obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_write_us_);
   VdiskId vdisk = dec.GetU32();
   uint64_t index = dec.GetU64();
   uint32_t off_in_chunk = dec.GetU32();
@@ -416,12 +485,15 @@ StatusOr<Bytes> PetalServer::DoReplicaWrite(Decoder& dec) {
     return InvalidArgument("bad replica write");
   }
   Encoder enc;
+  bool applied = false;
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    PetalStoreShard& shard = durable_->ShardFor(index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, {vdisk, index});
     uint64_t local_version = blob != nullptr ? blob->version : 0;
     if (version == local_version + 1) {
-      ApplyWriteLocked({vdisk, index}, off_in_chunk, data, version);
+      ApplyWriteLocked(shard, {vdisk, index}, off_in_chunk, data, version);
+      applied = true;
       enc.PutU8(1);  // applied
     } else if (version <= local_version) {
       enc.PutU8(1);  // stale duplicate; already have newer
@@ -429,7 +501,11 @@ StatusOr<Bytes> PetalServer::DoReplicaWrite(Decoder& dec) {
       enc.PutU8(2);  // gap: need the full chunk
     }
   }
-  DiskFor(index).ChargeWrite(ChunkBase(index) + off_in_chunk, data.size());
+  // Only an applied delta touches the disk; stale duplicates and gap
+  // replies must not burn modeled disk time.
+  if (applied) {
+    DiskFor(index).ChargeWrite(ChunkBase(index) + off_in_chunk, data.size());
+  }
   return enc.Take();
 }
 
@@ -443,11 +519,12 @@ StatusOr<Bytes> PetalServer::DoPushChunk(Decoder& dec) {
   }
   bool applied = false;
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    PetalStoreShard& shard = durable_->ShardFor(index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, {vdisk, index});
     uint64_t local_version = blob != nullptr ? blob->version : 0;
     if (version > local_version) {
-      ApplyWriteLocked({vdisk, index}, 0, data, version);
+      ApplyWriteLocked(shard, {vdisk, index}, 0, data, version);
       applied = true;
     }
   }
@@ -468,12 +545,14 @@ StatusOr<Bytes> PetalServer::DoPullChunk(Decoder& dec) {
   uint64_t version = 0;
   bool found = false;
   {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    BlobMeta* blob = FindChunkLocked({vdisk, index});
+    PetalStoreShard& shard = durable_->ShardFor(index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, {vdisk, index});
     if (blob != nullptr) {
       found = true;
       version = blob->version;
       data = blob->data;
+      ChargeStoreLocked(data.size());
     }
   }
   if (found) {
@@ -491,8 +570,9 @@ StatusOr<Bytes> PetalServer::DoDecommit(Decoder& dec) {
   if (!dec.ok()) {
     return InvalidArgument("bad decommit");
   }
-  std::lock_guard<std::mutex> guard(durable_->mu);
-  DropChunkLocked({vdisk, index});
+  PetalStoreShard& shard = durable_->ShardFor(index);
+  std::unique_lock<std::mutex> lk = LockShard(shard);
+  DropChunkLocked(shard, {vdisk, index});
   return Bytes{};
 }
 
@@ -510,11 +590,13 @@ StatusOr<Bytes> PetalServer::DoListChunksFor(Decoder& dec) {
   }
   PetalGlobalMap map = MapSnapshot();
   Encoder enc;
-  std::lock_guard<std::mutex> guard(durable_->mu);
   std::vector<std::pair<ChunkKey, uint64_t>> hits;
-  for (const auto& [key, handle] : durable_->chunks) {
-    if (PlaceChunk(map, key.index).Contains(target)) {
-      hits.emplace_back(key, durable_->blobs[handle].version);
+  for (PetalStoreShard& shard : durable_->shards) {
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    for (const auto& [key, handle] : shard.chunks) {
+      if (PlaceChunk(map, key.index).Contains(target)) {
+        hits.emplace_back(key, shard.blobs[handle].version);
+      }
     }
   }
   enc.PutU32(static_cast<uint32_t>(hits.size()));
@@ -530,10 +612,9 @@ Status PetalServer::Rebalance() {
   paxos_->CatchUp();
   PetalGlobalMap map = MapSnapshot();
   std::vector<ChunkKey> keys;
-  {
-    std::lock_guard<std::mutex> guard(durable_->mu);
-    keys.reserve(durable_->chunks.size());
-    for (const auto& [key, handle] : durable_->chunks) {
+  for (PetalStoreShard& shard : durable_->shards) {
+    std::lock_guard<std::mutex> guard(shard.mu);
+    for (const auto& [key, handle] : shard.chunks) {
       keys.push_back(key);
     }
   }
@@ -542,13 +623,15 @@ Status PetalServer::Rebalance() {
     Bytes data;
     uint64_t version = 0;
     {
-      std::lock_guard<std::mutex> guard(durable_->mu);
-      BlobMeta* blob = FindChunkLocked(key);
+      PetalStoreShard& shard = durable_->ShardFor(key.index);
+      std::unique_lock<std::mutex> lk = LockShard(shard);
+      BlobMeta* blob = FindChunkLocked(shard, key);
       if (blob == nullptr) {
         continue;
       }
       data = blob->data;
       version = blob->version;
+      ChargeStoreLocked(data.size());
     }
     bool pushed_all = true;
     for (NodeId peer : {place.primary, place.secondary}) {
@@ -566,8 +649,9 @@ Status PetalServer::Rebalance() {
       }
     }
     if (!place.Contains(self_) && pushed_all) {
-      std::lock_guard<std::mutex> guard(durable_->mu);
-      DropChunkLocked(key);
+      PetalStoreShard& shard = durable_->ShardFor(key.index);
+      std::unique_lock<std::mutex> lk = LockShard(shard);
+      DropChunkLocked(shard, key);
     }
   }
   return OkStatus();
@@ -595,8 +679,9 @@ Status PetalServer::ResyncFromPeers() {
       uint64_t peer_version = dec.GetU64();
       uint64_t local_version = 0;
       {
-        std::lock_guard<std::mutex> guard(durable_->mu);
-        BlobMeta* blob = FindChunkLocked(key);
+        PetalStoreShard& shard = durable_->ShardFor(key.index);
+        std::unique_lock<std::mutex> lk = LockShard(shard);
+        BlobMeta* blob = FindChunkLocked(shard, key);
         local_version = blob != nullptr ? blob->version : 0;
       }
       if (peer_version <= local_version) {
@@ -618,10 +703,11 @@ Status PetalServer::ResyncFromPeers() {
         continue;
       }
       {
-        std::lock_guard<std::mutex> guard(durable_->mu);
-        BlobMeta* blob = FindChunkLocked(key);
+        PetalStoreShard& shard = durable_->ShardFor(key.index);
+        std::unique_lock<std::mutex> lk = LockShard(shard);
+        BlobMeta* blob = FindChunkLocked(shard, key);
         if (blob == nullptr || blob->version < version) {
-          ApplyWriteLocked(key, 0, data, version);
+          ApplyWriteLocked(shard, key, 0, data, version);
         }
       }
       DiskFor(key.index).ChargeWrite(ChunkBase(key.index), data.size());

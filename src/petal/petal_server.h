@@ -20,6 +20,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -37,6 +38,13 @@ struct PetalServerOptions {
   int num_disks = 9;          // paper: 9 RZ29 drives per server
   PhysDiskParams disk;
   bool initially_ready = true;  // false: hold client I/O until ResyncFromPeers
+  // Modeled chunk-store service rate (bytes/sec): the time the owning shard
+  // is occupied moving a payload into or out of its blob (memory-system
+  // occupancy, charged as a real sleep while the shard lock is held — the
+  // same real-time dilation PhysDisk and Network use). 0 disables the model
+  // (unit tests); benches enable it so server-side serialization shows up
+  // in wall-clock throughput no matter how many host cores exist.
+  double store_copy_bps = 0;
 };
 
 struct BlobMeta {
@@ -45,14 +53,43 @@ struct BlobMeta {
   Bytes data;             // kChunkSize bytes
 };
 
-// The durable half of a Petal server: contents survive a simulated crash.
-struct PetalServerDurable {
-  PaxosDurableState paxos;
+inline constexpr int kPetalStoreShardsDefault = 16;
+
+// One shard of the chunk store: its own lock, blob map, chunk directory,
+// and handle counter (handles are scoped to the shard). Chunks are assigned
+// to shards by chunk index, so a logical chunk and every vdisk that shares
+// its blob via snapshot/clone COW (same index, different vdisk) live in the
+// same shard — refcount updates never cross shards.
+struct PetalStoreShard {
   std::mutex mu;
   std::unordered_map<uint64_t, BlobMeta> blobs;
   std::unordered_map<ChunkKey, uint64_t, ChunkKeyHash> chunks;  // -> blob handle
   uint64_t next_handle = 1;
+};
+
+// The durable half of a Petal server: contents survive a simulated crash.
+// The chunk store is sharded so concurrent client streams touching
+// different chunks never contend on one mutex; the shard count is fixed for
+// the durable's lifetime (it must not change across a simulated restart).
+struct PetalServerDurable {
+  explicit PetalServerDurable(int store_shards = kPetalStoreShardsDefault)
+      : shards(store_shards < 1 ? 1 : store_shards) {}
+
+  PaxosDurableState paxos;
+  std::vector<PetalStoreShard> shards;
+  std::mutex disks_mu;
   std::vector<std::unique_ptr<PhysDisk>> disks;
+
+  PetalStoreShard& ShardFor(uint64_t chunk_index) {
+    return shards[chunk_index % shards.size()];
+  }
+
+  // Cross-shard introspection (tests, assertions). Shards are locked one at
+  // a time, so the result is a sum of per-shard snapshots, not an atomic
+  // whole-store snapshot.
+  bool HasChunk(const ChunkKey& key);
+  uint64_t TotalChunks();
+  uint64_t TotalBlobs();
 };
 
 class PetalServer : public Service {
@@ -119,13 +156,20 @@ class PetalServer : public Service {
   StatusOr<Bytes> DoGetMap();
   StatusOr<Bytes> DoListChunksFor(Decoder& dec);
 
-  // Store helpers. Caller must hold durable_->mu.
-  BlobMeta* FindChunkLocked(const ChunkKey& key);
+  // Acquires `shard.mu`, recording the wait in petal.store_wait_us.
+  std::unique_lock<std::mutex> LockShard(PetalStoreShard& shard);
+  // Modeled store occupancy for moving `bytes` payload bytes; sleeps while
+  // the caller holds the shard lock (see PetalServerOptions::store_copy_bps).
+  void ChargeStoreLocked(size_t bytes);
+
+  // Store helpers. Caller must hold `shard.mu` for the key's shard.
+  BlobMeta* FindChunkLocked(PetalStoreShard& shard, const ChunkKey& key);
   // Applies a byte-range write; allocates/COWs the blob as needed. Returns
-  // the resulting version.
-  uint64_t ApplyWriteLocked(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
+  // the resulting version. Charges the store copy model for the payload.
+  uint64_t ApplyWriteLocked(PetalStoreShard& shard, const ChunkKey& key,
+                            uint32_t offset_in_chunk, const Bytes& data,
                             uint64_t forced_version);
-  void DropChunkLocked(const ChunkKey& key);
+  void DropChunkLocked(PetalStoreShard& shard, const ChunkKey& key);
 
   PhysDisk& DiskFor(uint64_t chunk_index);
   void ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
@@ -150,6 +194,10 @@ class PetalServer : public Service {
   // Replication fan-out accounting (primary -> secondary pushes).
   obs::Counter* m_repl_msgs_;
   obs::Counter* m_repl_bytes_;
+  // Store contention + server-side op latency.
+  Histogram* m_store_wait_us_;
+  Histogram* m_server_read_us_;
+  Histogram* m_server_write_us_;
 };
 
 }  // namespace frangipani

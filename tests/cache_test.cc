@@ -186,6 +186,70 @@ TEST_F(CacheTest, DropCleanKeepsDirty) {
   EXPECT_FALSE(cache_->Cached(4096));  // clean dropped
 }
 
+TEST_F(CacheTest, ShardedConcurrentMixedTraffic) {
+  // Threads work in 256 KB-spaced regions (one cache shard each) under
+  // their own locks, mixing dirty writes, hits, flushes, invalidations,
+  // and prefetches. The tiny capacity/hiwater force cross-shard eviction
+  // and write-throttling while this runs. TSan target.
+  constexpr int kThreads = 4;
+  constexpr int kBlocks = 8;
+  constexpr int kRounds = 3;
+  constexpr uint64_t kRegion = 256 * 1024;
+  std::vector<std::thread> workers;
+  std::vector<Status> results(kThreads, Unavailable("not run"));
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const LockId lock = 100 + t;
+      const uint64_t base = static_cast<uint64_t>(t) * kRegion;
+      for (int r = 0; r < kRounds; ++r) {
+        uint8_t fill = static_cast<uint8_t>(1 + t * kRounds + r);
+        for (int i = 0; i < kBlocks; ++i) {
+          Status st = cache_->PutDirty(base + i * 4096, Block(fill), lock, 0);
+          if (!st.ok()) {
+            results[t] = st;
+            return;
+          }
+        }
+        auto back = cache_->Read(base, 4096, lock);
+        if (!back.ok() || (*back)[0] != fill) {
+          results[t] = back.ok() ? Internal("readback mismatch") : back.status();
+          return;
+        }
+        Status st = cache_->FlushLock(lock);
+        if (!st.ok()) {
+          results[t] = st;
+          return;
+        }
+        cache_->InvalidateLock(lock);
+        // Prefetch under the post-invalidation epoch must be accepted.
+        uint64_t epoch = cache_->LockEpoch(lock);
+        if (cache_->BeginPrefetch(base, lock)) {
+          cache_->PutPrefetched(base, Block(fill), lock, epoch);
+          cache_->EndPrefetch(base, lock);
+        }
+      }
+      results[t] = OkStatus();
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].ok()) << "thread " << t << ": " << results[t];
+  }
+  ASSERT_TRUE(cache_->FlushAll().ok());
+  EXPECT_EQ(cache_->dirty_bytes(), 0u);
+  // Every region's final round reached the device intact.
+  for (int t = 0; t < kThreads; ++t) {
+    uint8_t fill = static_cast<uint8_t>(1 + t * kRounds + (kRounds - 1));
+    for (int i = 0; i < kBlocks; ++i) {
+      Bytes back;
+      ASSERT_TRUE(device_.Read(t * kRegion + i * 4096, 4096, &back).ok());
+      EXPECT_EQ(back[0], fill) << "thread " << t << " block " << i;
+    }
+  }
+}
+
 TEST_F(CacheTest, FlushPinnedUpToSelectsByLsn) {
   LogRecord r1, r2;
   LogBlockUpdate u;

@@ -31,8 +31,7 @@ class PetalExtraTest : public ::testing::Test {
   uint64_t TotalBlobs() {
     uint64_t n = 0;
     for (auto& s : states_) {
-      std::lock_guard<std::mutex> guard(s->mu);
-      n += s->blobs.size();
+      n += s->TotalBlobs();
     }
     return n;
   }

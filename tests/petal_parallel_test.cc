@@ -49,8 +49,7 @@ class PetalParallelTest : public ::testing::Test {
   int Holders(VdiskId vd, uint64_t index) {
     int holders = 0;
     for (auto& state : states_) {
-      std::lock_guard<std::mutex> guard(state->mu);
-      if (state->chunks.count({vd, index}) > 0) {
+      if (state->HasChunk({vd, index})) {
         ++holders;
       }
     }

@@ -85,8 +85,7 @@ TEST_F(PetalTest, WritesAreReplicated) {
   // Chunk 0's primary and secondary both hold it.
   int holders = 0;
   for (auto& state : states_) {
-    std::lock_guard<std::mutex> guard(state->mu);
-    if (state->chunks.count({*vd, 0}) > 0) {
+    if (state->HasChunk({*vd, 0})) {
       ++holders;
     }
   }
