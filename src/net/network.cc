@@ -1,6 +1,7 @@
 #include "src/net/network.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <thread>
 
 #include "src/base/logging.h"
@@ -151,6 +152,68 @@ std::future<StatusOr<Bytes>> Network::CallAsync(NodeId from, NodeId to,
   std::future<StatusOr<Bytes>> result = task->get_future();
   IoPool()->Submit([task] { (*task)(); });
   return result;
+}
+
+Status Network::ParallelFor(size_t count, uint32_t window,
+                            const std::function<Status(size_t)>& op,
+                            ParallelForOptions opts) {
+  if (count <= 1 || window <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      RETURN_IF_ERROR(op(i));
+    }
+    return OkStatus();
+  }
+  // Completion state is shared-owned by the tasks: a worker finishing its
+  // mutex release after the caller has already observed inflight == 0 and
+  // returned must not be left holding a destroyed mutex/cv. `op` itself can
+  // stay by-reference — the loop only exits once every issued task has
+  // finished running it.
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t inflight = 0;
+    bool failed = false;
+    Status first_error;
+  };
+  auto g = std::make_shared<Gather>();
+
+  size_t next = 0;
+  std::unique_lock<std::mutex> lk(g->mu);
+  // Stop issuing after the first failure; keep looping only to drain what is
+  // already in flight, else the wait below would sleep forever with unissued
+  // items still counted by `next < count`.
+  while ((next < count && !g->failed) || g->inflight > 0) {
+    if (next < count && !g->failed && g->inflight < window) {
+      size_t i = next++;
+      size_t now_inflight = ++g->inflight;
+      if (opts.inflight != nullptr) {
+        opts.inflight->Add(1);
+      }
+      if (opts.inflight_peak != nullptr) {
+        // Peak from the locally tracked count (exact under `mu`), not a
+        // read-back of the shared gauge that concurrent transfers perturb.
+        opts.inflight_peak->Max(static_cast<int64_t>(now_inflight));
+      }
+      lk.unlock();
+      SubmitIo([g, &op, opts, i] {
+        Status st = op(i);
+        if (opts.inflight != nullptr) {
+          opts.inflight->Add(-1);
+        }
+        std::lock_guard<std::mutex> guard(g->mu);
+        --g->inflight;
+        if (!st.ok() && !g->failed) {
+          g->failed = true;
+          g->first_error = st;
+        }
+        g->cv.notify_all();
+      });
+      lk.lock();
+    } else {
+      g->cv.wait(lk);
+    }
+  }
+  return g->failed ? g->first_error : OkStatus();
 }
 
 void Network::SetNodeUp(NodeId node, bool up) {

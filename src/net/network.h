@@ -56,6 +56,13 @@ struct LinkParams {
   double bandwidth_bps = 0;  // NIC bandwidth in bytes/sec; 0 = unlimited
 };
 
+// Optional gauges fed by Network::ParallelFor: `inflight` tracks the live
+// in-flight count, `inflight_peak` its high-water mark (Gauge::Max).
+struct ParallelForOptions {
+  obs::Gauge* inflight = nullptr;
+  obs::Gauge* inflight_peak = nullptr;
+};
+
 class Network {
  public:
   explicit Network(LinkParams defaults = {}, int io_threads = 32)
@@ -90,6 +97,16 @@ class Network {
   // is taken by value so the caller's buffer can be reused immediately.
   std::future<StatusOr<Bytes>> CallAsync(NodeId from, NodeId to, const std::string& service,
                                          uint32_t method, Bytes request);
+
+  // Bounded scatter-gather: runs op(0), ..., op(count-1) on the IO pool with
+  // at most `window` in flight; the caller's thread issues and sleeps when
+  // the window is full. Stops issuing after the first failure (already
+  // in-flight ops drain) and returns that first error. window <= 1 (or
+  // count <= 1) degrades to a serial loop on the caller's thread. `op` must
+  // follow the SubmitIo rule: it may make synchronous Call()s but must never
+  // block on another SubmitIo/CallAsync task.
+  Status ParallelFor(size_t count, uint32_t window, const std::function<Status(size_t)>& op,
+                     ParallelForOptions opts = {});
 
   std::string NodeName(NodeId node) const;
 

@@ -1,7 +1,6 @@
 #include "src/petal/petal_client.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstring>
 #include <memory>
 
@@ -63,59 +62,10 @@ PetalGlobalMap PetalClient::MapSnapshot() const {
 }
 
 Status PetalClient::ForEachChunk(size_t count, const std::function<Status(size_t)>& op) {
-  uint32_t window = io_window_.load(std::memory_order_relaxed);
-  if (count <= 1 || window <= 1) {
-    for (size_t i = 0; i < count; ++i) {
-      RETURN_IF_ERROR(op(i));
-    }
-    return OkStatus();
-  }
-  // Bounded scatter-gather: the caller's thread issues sub-requests onto the
-  // network's IO pool and sleeps when the window is full. Completion state is
-  // shared-owned by the tasks: a worker finishing its mutex release after the
-  // caller has already observed inflight == 0 and returned must not be left
-  // holding a destroyed mutex/cv. `op` itself can stay by-reference — the
-  // loop only exits once every issued task has finished running it.
-  struct Gather {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t inflight = 0;
-    bool failed = false;
-    Status first_error;
-  };
-  auto g = std::make_shared<Gather>();
-
-  size_t next = 0;
-  std::unique_lock<std::mutex> lk(g->mu);
-  // Stop issuing after the first failure; keep looping only to drain what is
-  // already in flight, else the wait below would sleep forever with unissued
-  // chunks still counted by `next < count`.
-  while ((next < count && !g->failed) || g->inflight > 0) {
-    if (next < count && !g->failed && g->inflight < window) {
-      size_t i = next++;
-      size_t now_inflight = ++g->inflight;
-      m_inflight_->Add(1);
-      // Peak from the locally tracked count (exact under `mu`), not a
-      // read-back of the shared gauge that concurrent transfers perturb.
-      m_inflight_peak_->Max(static_cast<int64_t>(now_inflight));
-      lk.unlock();
-      net_->SubmitIo([this, g, &op, i] {
-        Status st = op(i);
-        m_inflight_->Add(-1);
-        std::lock_guard<std::mutex> guard(g->mu);
-        --g->inflight;
-        if (!st.ok() && !g->failed) {
-          g->failed = true;
-          g->first_error = st;
-        }
-        g->cv.notify_all();
-      });
-      lk.lock();
-    } else {
-      g->cv.wait(lk);
-    }
-  }
-  return g->failed ? g->first_error : OkStatus();
+  ParallelForOptions pf;
+  pf.inflight = m_inflight_;
+  pf.inflight_peak = m_inflight_peak_;
+  return net_->ParallelFor(count, io_window_.load(std::memory_order_relaxed), op, pf);
 }
 
 StatusOr<Bytes> PetalClient::ChunkCall(uint64_t chunk_index, uint32_t method,

@@ -1,8 +1,11 @@
 #include "src/petal/petal_server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <map>
 #include <thread>
+#include <utility>
 
 #include "src/base/logging.h"
 #include "src/obs/trace.h"
@@ -56,6 +59,12 @@ PetalServer::PetalServer(Network* net, NodeId self, std::vector<NodeId> paxos_gr
   m_store_wait_us_ = reg->GetHistogram("petal.store_wait_us");
   m_server_read_us_ = reg->GetHistogram("petal.server_read_us");
   m_server_write_us_ = reg->GetHistogram("petal.server_write_us");
+  m_resync_us_ = reg->GetHistogram("petal.resync_us");
+  m_resync_bytes_ = reg->GetCounter("petal.resync_bytes");
+  m_resync_pull_errors_ = reg->GetCounter("petal.resync_pull_errors");
+  m_resync_degraded_ = reg->GetCounter("petal.resync_degraded");
+  m_resync_inflight_ = reg->GetGauge("petal.resync_inflight");
+  m_resync_inflight_peak_ = reg->GetGauge("petal.resync_inflight_peak");
   reg->GetGauge("petal.store_shards")->Set(static_cast<int64_t>(durable_->shards.size()));
   map_.servers = std::move(initial_active);
   paxos_ = std::make_unique<PaxosPeer>(
@@ -306,12 +315,8 @@ void PetalServer::ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, c
       full_version = blob->version;
       ChargeStoreLocked(full.size());
     }
-    Encoder push;
-    push.PutU32(key.vdisk);
-    push.PutU64(key.index);
-    push.PutU64(full_version);
-    push.PutBytes(full);
-    (void)net_->Call(self_, peer, kServiceName, kPushChunk, push.buffer());
+    // Best effort: an unconfirmed gap-fill just means the peer resyncs later.
+    (void)PushChunkConfirmed(peer, key, full_version, full);
   }
 }
 
@@ -518,6 +523,7 @@ StatusOr<Bytes> PetalServer::DoPushChunk(Decoder& dec) {
     return InvalidArgument("bad push chunk");
   }
   bool applied = false;
+  uint64_t held_version = 0;  // version this server holds after the push
   {
     PetalStoreShard& shard = durable_->ShardFor(index);
     std::unique_lock<std::mutex> lk = LockShard(shard);
@@ -526,12 +532,20 @@ StatusOr<Bytes> PetalServer::DoPushChunk(Decoder& dec) {
     if (version > local_version) {
       ApplyWriteLocked(shard, {vdisk, index}, 0, data, version);
       applied = true;
+      held_version = version;
+    } else {
+      held_version = local_version;
     }
   }
   if (applied) {
     DiskFor(index).ChargeWrite(ChunkBase(index), data.size());
   }
-  return Bytes{};
+  // The reply carries what this server now holds: the pusher must not treat
+  // a bare transport OK as proof of replication (see PushChunkConfirmed).
+  Encoder enc;
+  enc.PutU8(applied ? 1 : 0);
+  enc.PutU64(held_version);
+  return enc.Take();
 }
 
 StatusOr<Bytes> PetalServer::DoPullChunk(Decoder& dec) {
@@ -608,6 +622,67 @@ StatusOr<Bytes> PetalServer::DoListChunksFor(Decoder& dec) {
   return enc.Take();
 }
 
+bool PetalServer::PushChunkConfirmed(NodeId peer, const ChunkKey& key, uint64_t version,
+                                     const Bytes& data) {
+  Encoder push;
+  push.PutU32(key.vdisk);
+  push.PutU64(key.index);
+  push.PutU64(version);
+  push.PutBytes(data);
+  StatusOr<Bytes> r = net_->Call(self_, peer, kServiceName, kPushChunk, push.buffer());
+  if (!r.ok()) {
+    return false;
+  }
+  // A transport-level OK is not proof of replication: the peer may have
+  // rejected the push (bad decode) or replied with garbage. Only a decoded
+  // reply showing the peer holds >= our version confirms it.
+  Decoder dec(r.value());
+  dec.GetU8();  // applied flag; informational ("already newer" confirms too)
+  uint64_t held_version = dec.GetU64();
+  return dec.ok() && held_version >= version;
+}
+
+void PetalServer::RebalanceChunk(const PetalGlobalMap& map, const ChunkKey& key) {
+  Replicas place = PlaceChunk(map, key.index);
+  Bytes data;
+  uint64_t version = 0;
+  {
+    PetalStoreShard& shard = durable_->ShardFor(key.index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, key);
+    if (blob == nullptr) {
+      return;
+    }
+    data = blob->data;
+    version = blob->version;
+    ChargeStoreLocked(data.size());
+  }
+  bool confirmed_all = true;
+  const NodeId targets[2] = {place.primary, place.secondary};
+  for (int t = 0; t < 2; ++t) {
+    NodeId peer = targets[t];
+    if (peer == self_ || peer == kInvalidNode) {
+      continue;
+    }
+    if (t == 1 && place.secondary == place.primary) {
+      continue;  // single-server placement: one push, not two
+    }
+    if (!PushChunkConfirmed(peer, key, version, data)) {
+      confirmed_all = false;
+    }
+  }
+  if (!place.Contains(self_) && confirmed_all) {
+    PetalStoreShard& shard = durable_->ShardFor(key.index);
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    BlobMeta* blob = FindChunkLocked(shard, key);
+    // Re-check under the lock: drop only the version (or older) that a
+    // replica confirmed holding; a concurrently arrived newer write stays.
+    if (blob != nullptr && blob->version <= version) {
+      DropChunkLocked(shard, key);
+    }
+  }
+}
+
 Status PetalServer::Rebalance() {
   paxos_->CatchUp();
   PetalGlobalMap map = MapSnapshot();
@@ -618,100 +693,186 @@ Status PetalServer::Rebalance() {
       keys.push_back(key);
     }
   }
-  for (const ChunkKey& key : keys) {
-    Replicas place = PlaceChunk(map, key.index);
-    Bytes data;
-    uint64_t version = 0;
-    {
-      PetalStoreShard& shard = durable_->ShardFor(key.index);
-      std::unique_lock<std::mutex> lk = LockShard(shard);
-      BlobMeta* blob = FindChunkLocked(shard, key);
-      if (blob == nullptr) {
-        continue;
-      }
-      data = blob->data;
-      version = blob->version;
-      ChargeStoreLocked(data.size());
-    }
-    bool pushed_all = true;
-    for (NodeId peer : {place.primary, place.secondary}) {
-      if (peer == self_ || peer == kInvalidNode) {
-        continue;
-      }
-      Encoder push;
-      push.PutU32(key.vdisk);
-      push.PutU64(key.index);
-      push.PutU64(version);
-      push.PutBytes(data);
-      StatusOr<Bytes> r = net_->Call(self_, peer, kServiceName, kPushChunk, push.buffer());
-      if (!r.ok()) {
-        pushed_all = false;
-      }
-    }
-    if (!place.Contains(self_) && pushed_all) {
-      PetalStoreShard& shard = durable_->ShardFor(key.index);
-      std::unique_lock<std::mutex> lk = LockShard(shard);
-      DropChunkLocked(shard, key);
-    }
-  }
-  return OkStatus();
+  uint32_t window = options_.resync_window < 1 ? 1 : static_cast<uint32_t>(options_.resync_window);
+  ParallelForOptions pf;
+  pf.inflight = m_resync_inflight_;
+  pf.inflight_peak = m_resync_inflight_peak_;
+  return net_->ParallelFor(
+      keys.size(), window,
+      [&](size_t i) -> Status {
+        RebalanceChunk(map, keys[i]);
+        return OkStatus();
+      },
+      pf);
 }
 
-Status PetalServer::ResyncFromPeers() {
-  paxos_->CatchUp();
-  PetalGlobalMap map = MapSnapshot();
-  for (NodeId peer : map.servers) {
-    if (peer == self_) {
-      continue;
+bool PetalServer::ListChunksWithRetry(NodeId peer, Bytes* reply) {
+  Encoder req;
+  req.PutU32(self_);
+  Duration backoff = options_.resync_backoff;
+  int attempts = std::max(1, options_.resync_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
     }
-    Encoder req;
-    req.PutU32(self_);
-    StatusOr<Bytes> reply = net_->Call(self_, peer, kServiceName, kListChunksFor, req.buffer());
-    if (!reply.ok()) {
-      continue;
+    StatusOr<Bytes> r = net_->Call(self_, peer, kServiceName, kListChunksFor, req.buffer());
+    if (r.ok()) {
+      *reply = std::move(r.value());
+      return true;
     }
-    Decoder dec(reply.value());
-    uint32_t count = dec.GetU32();
-    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
-      ChunkKey key;
-      key.vdisk = dec.GetU32();
-      key.index = dec.GetU64();
-      uint64_t peer_version = dec.GetU64();
-      uint64_t local_version = 0;
-      {
-        PetalStoreShard& shard = durable_->ShardFor(key.index);
-        std::unique_lock<std::mutex> lk = LockShard(shard);
-        BlobMeta* blob = FindChunkLocked(shard, key);
-        local_version = blob != nullptr ? blob->version : 0;
-      }
-      if (peer_version <= local_version) {
-        continue;
-      }
-      Encoder pull;
-      pull.PutU32(key.vdisk);
-      pull.PutU64(key.index);
-      StatusOr<Bytes> chunk =
-          net_->Call(self_, peer, kServiceName, kPullChunk, pull.buffer());
+  }
+  return false;
+}
+
+bool PetalServer::PullChunkStriped(const ResyncCandidate& item) {
+  Encoder pull;
+  pull.PutU32(item.key.vdisk);
+  pull.PutU64(item.key.index);
+  Duration backoff = options_.resync_backoff;
+  int rounds = std::max(1, options_.resync_attempts);
+  for (int round = 0; round < rounds; ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    for (NodeId peer : item.sources) {
+      StatusOr<Bytes> chunk = net_->Call(self_, peer, kServiceName, kPullChunk, pull.buffer());
       if (!chunk.ok()) {
-        continue;
+        m_resync_pull_errors_->Increment();
+        continue;  // per-peer failover: try the other replica
       }
       Decoder cdec(chunk.value());
       bool found = cdec.GetBool();
       uint64_t version = cdec.GetU64();
       Bytes data = cdec.GetBytes();
       if (!cdec.ok() || !found || data.size() != kChunkSize) {
+        m_resync_pull_errors_->Increment();
         continue;
       }
+      bool applied = false;
       {
-        PetalStoreShard& shard = durable_->ShardFor(key.index);
+        // Completion applies under the owning shard's lock only: with the
+        // sharded store, concurrent appliers serialize per shard, not
+        // globally.
+        PetalStoreShard& shard = durable_->ShardFor(item.key.index);
         std::unique_lock<std::mutex> lk = LockShard(shard);
-        BlobMeta* blob = FindChunkLocked(shard, key);
+        BlobMeta* blob = FindChunkLocked(shard, item.key);
         if (blob == nullptr || blob->version < version) {
-          ApplyWriteLocked(shard, key, 0, data, version);
+          ApplyWriteLocked(shard, item.key, 0, data, version);
+          applied = true;
         }
       }
-      DiskFor(key.index).ChargeWrite(ChunkBase(key.index), data.size());
+      // A pull discarded as stale never ran ApplyWriteLocked, so it must not
+      // burn modeled disk time either (same audit rule as DoReplicaWrite).
+      if (applied) {
+        DiskFor(item.key.index).ChargeWrite(ChunkBase(item.key.index), data.size());
+        m_resync_bytes_->Increment(data.size());
+      }
+      return true;
     }
+  }
+  return false;
+}
+
+Status PetalServer::ResyncFromPeers() {
+  int64_t t0 = obs::MonotonicNs();
+  paxos_->CatchUp();
+  PetalGlobalMap map = MapSnapshot();
+  std::vector<NodeId> peers;
+  for (NodeId peer : map.servers) {
+    if (peer != self_) {
+      peers.push_back(peer);
+    }
+  }
+  if (peers.empty()) {
+    ready_.store(true);  // single-server installation: nothing to sync from
+    return OkStatus();
+  }
+
+  // Phase 1 — inventory: ask every peer which of our chunks it holds, at
+  // what version. Merged by chunk key so a chunk replicated on two peers
+  // gets both as pull sources (highest advertised version first).
+  std::map<ChunkKey, ResyncCandidate> wanted;
+  size_t peers_listed = 0;
+  for (NodeId peer : peers) {
+    Bytes reply;
+    if (!ListChunksWithRetry(peer, &reply)) {
+      continue;
+    }
+    ++peers_listed;
+    Decoder dec(reply);
+    uint32_t count = dec.GetU32();
+    for (uint32_t i = 0; i < count && dec.ok(); ++i) {
+      ChunkKey key;
+      key.vdisk = dec.GetU32();
+      key.index = dec.GetU64();
+      uint64_t peer_version = dec.GetU64();
+      ResyncCandidate& cand = wanted[key];
+      cand.key = key;
+      if (peer_version > cand.version) {
+        cand.version = peer_version;
+        cand.sources.insert(cand.sources.begin(), peer);
+      } else {
+        cand.sources.push_back(peer);
+      }
+    }
+  }
+  if (peers_listed == 0) {
+    // Total peer failure: we cannot even know what we are missing. Claiming
+    // readiness here would silently serve stale data.
+    m_resync_degraded_->Increment();
+    return Unavailable("resync: no peer inventory reachable; server stays not-ready");
+  }
+
+  // Keep only chunks a peer holds newer than our local copy.
+  std::vector<ResyncCandidate> todo;
+  for (auto& [key, cand] : wanted) {
+    uint64_t local_version = 0;
+    {
+      PetalStoreShard& shard = durable_->ShardFor(key.index);
+      std::unique_lock<std::mutex> lk = LockShard(shard);
+      BlobMeta* blob = FindChunkLocked(shard, key);
+      local_version = blob != nullptr ? blob->version : 0;
+    }
+    if (cand.version > local_version) {
+      todo.push_back(std::move(cand));
+    }
+  }
+
+  // Phase 2 — striped pulls: fan kPullChunk out across peers and store
+  // shards under the bounded window. Individual failures never abort the
+  // gather (each item retries/fails over on its own); they are tallied and
+  // judged below.
+  std::atomic<uint64_t> failed_chunks{0};
+  uint32_t window = options_.resync_window < 1 ? 1 : static_cast<uint32_t>(options_.resync_window);
+  ParallelForOptions pf;
+  pf.inflight = m_resync_inflight_;
+  pf.inflight_peak = m_resync_inflight_peak_;
+  (void)net_->ParallelFor(
+      todo.size(), window,
+      [&](size_t i) -> Status {
+        if (!PullChunkStriped(todo[i])) {
+          failed_chunks.fetch_add(1, std::memory_order_relaxed);
+        }
+        return OkStatus();
+      },
+      pf);
+
+  m_resync_us_->Record(static_cast<double>(obs::MonotonicNs() - t0) / 1000.0);
+  uint64_t failed = failed_chunks.load(std::memory_order_relaxed);
+  if (failed > 0) {
+    // Some chunk a peer advertised as newer could not be pulled from any
+    // source: serving now would hand out data we know is stale.
+    m_resync_degraded_->Increment();
+    return Unavailable("resync: " + std::to_string(failed) +
+                       " chunk(s) not pulled; server stays not-ready");
+  }
+  if (peers_listed < peers.size()) {
+    // Partial inventory: a chunk whose only live replica is a down peer is
+    // unreachable no matter what we do, so serve what we have — but record
+    // the degraded pass instead of pretending the resync was complete.
+    m_resync_degraded_->Increment();
   }
   ready_.store(true);
   return OkStatus();

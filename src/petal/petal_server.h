@@ -45,6 +45,15 @@ struct PetalServerOptions {
   // (unit tests); benches enable it so server-side serialization shows up
   // in wall-clock throughput no matter how many host cores exist.
   double store_copy_bps = 0;
+
+  // ---- recovery (ResyncFromPeers / Rebalance) ----
+  // Max pull/push RPCs in flight during a resync or rebalance pass; 1 runs
+  // the pre-striping serial loop (benches use it as the baseline).
+  int resync_window = 8;
+  // Bounded retries for peer inventory listings and per-chunk pulls; the
+  // backoff doubles between rounds.
+  int resync_attempts = 3;
+  Duration resync_backoff{2000};  // 2 ms
 };
 
 struct BlobMeta {
@@ -128,15 +137,24 @@ class PetalServer : public Service {
   StatusOr<VdiskId> CloneVdisk(VdiskId src);
   Status DeleteVdisk(VdiskId id);
 
-  // Pushes every locally held chunk to its current replicas and drops chunks
-  // this server no longer hosts. Run on every server after membership change.
+  // Pushes every locally held chunk to its current replicas (fanned out
+  // under the resync window) and drops chunks this server no longer hosts —
+  // but only once a placed replica's reply confirms it holds at least our
+  // version. Run on every server after membership change.
   Status Rebalance();
 
-  // Pulls chunks this server should hold but has stale/missing, then marks
-  // the server ready. Run after a restart, before taking client traffic.
+  // Pulls chunks this server should hold but has stale/missing, fanning
+  // kPullChunk RPCs across peers and store shards under a bounded in-flight
+  // window (resync_window), then marks the server ready. Run after a
+  // restart, before taking client traffic. If no peer inventory is
+  // reachable, or some chunk known to be newer on a peer could not be
+  // pulled after bounded retries, the server is left NOT ready and an
+  // Unavailable status is returned (petal.resync_degraded counts these) —
+  // claiming readiness there would silently serve stale data.
   Status ResyncFromPeers();
 
   void SetReady(bool ready);
+  bool ready() const { return ready_.load(); }
   PetalGlobalMap MapSnapshot() const;
   PaxosPeer* paxos() { return paxos_.get(); }
 
@@ -175,6 +193,29 @@ class PetalServer : public Service {
   void ForwardToPeer(const ChunkKey& key, uint32_t offset_in_chunk, const Bytes& data,
                      uint64_t version);
 
+  // ---- recovery helpers ----
+  // One chunk this server should refresh: the highest version any peer
+  // listed, plus every peer that listed it (best version first) for
+  // per-chunk failover when a pull fails.
+  struct ResyncCandidate {
+    ChunkKey key;
+    uint64_t version = 0;
+    std::vector<NodeId> sources;
+  };
+  // kListChunksFor with bounded retry/backoff; true once a reply arrived.
+  bool ListChunksWithRetry(NodeId peer, Bytes* reply);
+  // Pulls one chunk, trying each source in turn for resync_attempts rounds.
+  // Returns true once a structurally valid pull was applied — or discarded
+  // as stale, which means the store already holds something at least as new.
+  bool PullChunkStriped(const ResyncCandidate& item);
+  // Pushes a full chunk to `peer` and returns true only if the decoded reply
+  // confirms the peer now holds at least `version`.
+  bool PushChunkConfirmed(NodeId peer, const ChunkKey& key, uint64_t version, const Bytes& data);
+  // One Rebalance work item: push to the chunk's placed replicas, then drop
+  // the local copy iff this server is no longer a replica and every push was
+  // confirmed.
+  void RebalanceChunk(const PetalGlobalMap& map, const ChunkKey& key);
+
   Network* net_;
   NodeId self_;
   PetalServerDurable* durable_;
@@ -198,6 +239,13 @@ class PetalServer : public Service {
   Histogram* m_store_wait_us_;
   Histogram* m_server_read_us_;
   Histogram* m_server_write_us_;
+  // Recovery observability (ResyncFromPeers / Rebalance).
+  Histogram* m_resync_us_;
+  obs::Counter* m_resync_bytes_;
+  obs::Counter* m_resync_pull_errors_;
+  obs::Counter* m_resync_degraded_;
+  obs::Gauge* m_resync_inflight_;
+  obs::Gauge* m_resync_inflight_peak_;
 };
 
 }  // namespace frangipani

@@ -5,6 +5,7 @@
 namespace frangipani {
 
 void PhysDisk::Charge(uint64_t pos, size_t bytes, bool is_write) {
+  bool timing_enabled;
   {
     std::lock_guard<std::mutex> guard(mu_);
     if (is_write) {
@@ -12,8 +13,9 @@ void PhysDisk::Charge(uint64_t pos, size_t bytes, bool is_write) {
     } else {
       bytes_read_ += bytes;
     }
+    timing_enabled = params_.timing_enabled;
   }
-  if (!params_.timing_enabled) {
+  if (!timing_enabled) {
     return;
   }
   if (is_write && params_.nvram) {
@@ -58,6 +60,11 @@ void PhysDisk::set_nvram(bool on) {
 bool PhysDisk::nvram() const {
   std::lock_guard<std::mutex> guard(mu_);
   return params_.nvram;
+}
+
+void PhysDisk::set_timing(bool on) {
+  std::lock_guard<std::mutex> guard(mu_);
+  params_.timing_enabled = on;
 }
 
 uint64_t PhysDisk::bytes_written() const {

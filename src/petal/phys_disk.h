@@ -42,6 +42,11 @@ class PhysDisk {
   void set_nvram(bool on);
   bool nvram() const;
 
+  // Enables/disables the timing model at runtime. Benches preload the chunk
+  // store with timing off, then flip it on for the measured phase so setup
+  // doesn't pay (or skew) modeled service time.
+  void set_timing(bool on);
+
   uint64_t bytes_written() const;
   uint64_t bytes_read() const;
 

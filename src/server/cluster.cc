@@ -51,6 +51,7 @@ Status Cluster::Start() {
     popts.num_disks = options_.disks_per_petal;
     popts.disk = options_.disk;
     popts.store_copy_bps = options_.petal_store_copy_bps;
+    popts.resync_window = options_.petal_resync_window;
     petal_runtime_.push_back(std::make_unique<PetalServer>(
         &net_, petal_nodes_[i], petal_nodes_, petal_nodes_, petal_state_[i].get(), popts,
         clock_));
