@@ -17,7 +17,10 @@ constexpr uint64_t kChunkBytes = 64 * 1024;
 constexpr double kWindowSeconds = 4.0;
 
 double RunWriters(int writers, bool same_file) {
-  Cluster cluster(PaperClusterOptions(/*nvram=*/true));
+  ClusterOptions opts = PaperClusterOptions(/*nvram=*/true);
+  // Whole-file lock handoffs under contention run tens of ms: capture them.
+  opts.slow_op_us = 10'000;
+  Cluster cluster(opts);
   if (!cluster.Start().ok()) {
     return 0;
   }
@@ -66,12 +69,19 @@ double RunWriters(int writers, bool same_file) {
   for (auto& t : threads) {
     t.join();
   }
+  if (writers == 2 && same_file) {
+    // Pin the interesting window before later configs overwrite the rings:
+    // this trace shows the revoke -> flush -> release -> grant handoff chain
+    // between the two nodes (load it in Perfetto; see EXPERIMENTS.md).
+    WriteTraceJson("fig10_ww_contention");
+  }
   return bytes_written.load() / kWindowSeconds / (1 << 20);
 }
 
 }  // namespace
 
 int main() {
+  StartTimeSeries(Duration(250'000));  // 250 ms windows -> .timeseries.csv sidecar
   std::printf("Figure 10: write/write sharing (aggregate write MB/s)\n\n");
   std::printf("writers   same file   private files\n");
   std::vector<std::string> rows;

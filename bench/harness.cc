@@ -9,8 +9,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <set>
 
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
+#include "src/obs/snapshot.h"
 
 namespace frangipani {
 namespace bench {
@@ -193,6 +197,8 @@ void WriteCsv(const std::string& name, const std::string& header,
   }
   std::printf("[csv written to %s]\n", path.c_str());
   WriteMetricsJson(name);
+  WriteTraceJson(name);
+  WriteTimeSeriesCsv(name);
 }
 
 void WriteMetricsJson(const std::string& name) {
@@ -201,6 +207,61 @@ void WriteMetricsJson(const std::string& name) {
   std::ofstream out(path, std::ios::trunc);
   out << obs::MetricsRegistry::Default()->ExportJson() << "\n";
   std::printf("[metrics written to %s]\n", path.c_str());
+}
+
+namespace {
+
+std::mutex g_sidecar_mu;
+std::set<std::string>* g_written_traces = new std::set<std::string>();
+bool g_timeseries_on = false;
+
+obs::MetricsSampler* Sampler() {
+  static obs::MetricsSampler* s = new obs::MetricsSampler();
+  return s;
+}
+
+}  // namespace
+
+void WriteTraceJson(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> guard(g_sidecar_mu);
+    if (!g_written_traces->insert(name).second) {
+      return;  // an earlier (mid-run) dump for this name pinned the window
+    }
+  }
+  std::filesystem::create_directories("bench_results");
+  std::string path = "bench_results/" + name + ".trace.json";
+  std::ofstream out(path, std::ios::trunc);
+  out << obs::Recorder::Default()->DumpJson() << "\n";
+  std::printf("[trace written to %s]\n", path.c_str());
+}
+
+void StartTimeSeries(Duration period) {
+  {
+    std::lock_guard<std::mutex> guard(g_sidecar_mu);
+    if (g_timeseries_on) {
+      return;
+    }
+    g_timeseries_on = true;
+  }
+  Sampler()->Start(period);
+}
+
+void WriteTimeSeriesCsv(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> guard(g_sidecar_mu);
+    if (!g_timeseries_on) {
+      return;  // bench did not opt in to time-series capture
+    }
+  }
+  obs::MetricsSampler* s = Sampler();
+  s->Tick();  // close the final partial window
+  std::filesystem::create_directories("bench_results");
+  std::string path = "bench_results/" + name + ".timeseries.csv";
+  std::ofstream out(path, std::ios::trunc);
+  out << s->ExportCsv();
+  std::printf("[timeseries written to %s]\n", path.c_str());
+  s->Reset();  // fresh windows for the next bench in this process
 }
 
 }  // namespace bench

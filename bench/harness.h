@@ -86,6 +86,21 @@ void WriteCsv(const std::string& name, const std::string& header,
 // benchmark's CSV offline.
 void WriteMetricsJson(const std::string& name);
 
+// Dumps the process-wide flight recorder to bench_results/<name>.trace.json
+// (Perfetto-loadable; see EXPERIMENTS.md). Called automatically by WriteCsv;
+// a bench may also call it mid-run to pin an interesting window before later
+// configs overwrite the rings — the first write for a name wins within one
+// process.
+void WriteTraceJson(const std::string& name);
+
+// Opt in to windowed time-series capture: a background sampler records
+// metric deltas every `period` from now on. WriteCsv (or an explicit
+// WriteTimeSeriesCsv) then drops bench_results/<name>.timeseries.csv in long
+// format (window,t_ms,metric,value) and restarts the windows for the next
+// bench. No-op if called twice.
+void StartTimeSeries(Duration period);
+void WriteTimeSeriesCsv(const std::string& name);
+
 double NowSeconds();
 
 }  // namespace bench

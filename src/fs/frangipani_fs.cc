@@ -207,7 +207,8 @@ Status FrangipaniFs::Mount() {
   auto fence = [this]() { return FenceUs(); };
   wal_ = std::make_unique<LogWriter>(
       device_, geometry_, locks_->slot(),
-      [this](uint64_t lsn) { return cache_->FlushPinnedUpTo(lsn); }, fence);
+      [this](uint64_t lsn) { return cache_->FlushPinnedUpTo(lsn); }, fence,
+      options_.node_id);
   BlockCacheOptions copts;
   copts.capacity_bytes = options_.cache_bytes;
   copts.dirty_hiwater_bytes = options_.dirty_hiwater_bytes;

@@ -54,6 +54,7 @@ struct FsOptions {
   Duration lease_margin = kDefaultLeaseMargin;  // §6 hazard margin
   bool fence_writes = true;         // stamp Petal writes with the lease expiry
   bool read_only = false;           // snapshot mounts
+  uint32_t node_id = 0;             // simulated machine id for flight-recorder spans
 };
 
 struct FileAttr {

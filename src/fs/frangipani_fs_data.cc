@@ -5,6 +5,7 @@
 
 #include "src/base/logging.h"
 #include "src/fs/frangipani_fs.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -19,7 +20,7 @@ constexpr int kAllocKindLarge = 2;
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
-  obs::OpTrace trace(&op_metrics_.write);
+  obs::OpTrace trace(&op_metrics_.write, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -139,7 +140,7 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
 // ---------------------------------------------------------------------------
 
 StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length, Bytes* out) {
-  obs::OpTrace trace(&op_metrics_.read);
+  obs::OpTrace trace(&op_metrics_.read, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   out->clear();
   Inode snapshot;
@@ -214,7 +215,11 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
     }
     uint64_t epoch = cache_->LockEpoch(lock);
     stats_.prefetches.fetch_add(1, std::memory_order_relaxed);
-    prefetch_pool_->Submit([this, unit_addr, unit, lock, epoch] {
+    // Prefetches inherit the reading op's trace id so the recorder shows
+    // them as children of the read that triggered them.
+    uint64_t trace_id = obs::CurrentTraceId();
+    prefetch_pool_->Submit([this, unit_addr, unit, lock, epoch, trace_id] {
+      obs::InheritedTraceScope inherit(trace_id);
       Bytes data;
       if (!device_->Read(unit_addr, unit, &data).ok()) {
         cache_->EndPrefetch(unit_addr, lock);
@@ -237,7 +242,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
-  obs::OpTrace trace(&op_metrics_.truncate);
+  obs::OpTrace trace(&op_metrics_.truncate, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -366,7 +371,7 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Fsync(uint64_t ino) {
-  obs::OpTrace trace(&op_metrics_.fsync);
+  obs::OpTrace trace(&op_metrics_.fsync, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   RETURN_IF_ERROR(CheckWriteLease());
   // Flush the log (making this file's metadata updates recoverable) and the
@@ -428,6 +433,8 @@ void FrangipaniFs::OnLockRevoked(LockId lock, LockMode new_mode) {
   }
   // §5: write dirty data covered by the lock before it changes hands;
   // invalidate on full release, keep cached data on downgrade.
+  obs::SpanScope span(obs::Layer::kFs, "fs.revoke_flush", options_.node_id, "lock", lock,
+                      "new_mode", static_cast<uint64_t>(new_mode));
   Status st = cache_->FlushLock(lock);
   if (!st.ok()) {
     FLOG(WARN) << "fs: flush on revoke failed for lock " << lock << ": " << st;

@@ -21,7 +21,7 @@ constexpr int kAllocKindLarge = 2;
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> FrangipaniFs::Create(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.create);
+  obs::OpTrace trace(&op_metrics_.create, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -115,7 +115,7 @@ Status InitNewInode(Inode* node, FileType type, const std::string& symlink_targe
 }  // namespace
 
 Status FrangipaniFs::Mkdir(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.mkdir);
+  obs::OpTrace trace(&op_metrics_.mkdir, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -184,7 +184,7 @@ Status FrangipaniFs::Mkdir(const std::string& path) {
 }
 
 Status FrangipaniFs::Symlink(const std::string& target, const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.symlink);
+  obs::OpTrace trace(&op_metrics_.symlink, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -252,7 +252,7 @@ Status FrangipaniFs::Symlink(const std::string& target, const std::string& path)
 }
 
 Status FrangipaniFs::Link(const std::string& existing, const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.link);
+  obs::OpTrace trace(&op_metrics_.link, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -420,12 +420,12 @@ Status FrangipaniFs::RemoveCommon(const std::string& path, bool dir_expected) {
 }
 
 Status FrangipaniFs::Unlink(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.unlink);
+  obs::OpTrace trace(&op_metrics_.unlink, options_.node_id);
   return RemoveCommon(path, false);
 }
 
 Status FrangipaniFs::Rmdir(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.rmdir);
+  obs::OpTrace trace(&op_metrics_.rmdir, options_.node_id);
   return RemoveCommon(path, true);
 }
 
@@ -434,7 +434,7 @@ Status FrangipaniFs::Rmdir(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
-  obs::OpTrace trace(&op_metrics_.rename);
+  obs::OpTrace trace(&op_metrics_.rename, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   if (options_.read_only) {
     return PermissionDenied("read-only mount");
@@ -578,14 +578,14 @@ Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
 // ---------------------------------------------------------------------------
 
 StatusOr<uint64_t> FrangipaniFs::Lookup(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.lookup);
+  obs::OpTrace trace(&op_metrics_.lookup, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   return ResolveIno(path, /*follow_leaf=*/true);
 }
 
 StatusOr<FileAttr> FrangipaniFs::StatIno(uint64_t ino) {
   // No-op when called from Stat (the outer trace keeps accumulating).
-  obs::OpTrace trace(&op_metrics_.stat);
+  obs::OpTrace trace(&op_metrics_.stat, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   FileAttr attr;
   Status st = WithLocks({{InodeLockId(ino), LockMode::kShared}}, [&]() -> Status {
@@ -614,14 +614,14 @@ StatusOr<FileAttr> FrangipaniFs::StatIno(uint64_t ino) {
 }
 
 StatusOr<FileAttr> FrangipaniFs::Stat(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.stat);
+  obs::OpTrace trace(&op_metrics_.stat, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/false));
   return StatIno(ino);
 }
 
 StatusOr<std::string> FrangipaniFs::Readlink(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.readlink);
+  obs::OpTrace trace(&op_metrics_.readlink, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/false));
   std::string target;
@@ -638,7 +638,7 @@ StatusOr<std::string> FrangipaniFs::Readlink(const std::string& path) {
 }
 
 StatusOr<std::vector<DirEntry>> FrangipaniFs::Readdir(const std::string& path) {
-  obs::OpTrace trace(&op_metrics_.readdir);
+  obs::OpTrace trace(&op_metrics_.readdir, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   ASSIGN_OR_RETURN(uint64_t ino, ResolveIno(path, /*follow_leaf=*/true));
   std::vector<DirEntry> entries;

@@ -5,6 +5,7 @@
 
 #include "src/base/crc32.h"
 #include "src/base/logging.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -106,13 +107,14 @@ int64_t TryParseRecord(const Bytes& buf, LogRecord* out) {
 
 LogWriter::LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
                      std::function<Status(uint64_t)> reclaim,
-                     std::function<int64_t()> lease_expiry_us)
+                     std::function<int64_t()> lease_expiry_us, uint32_t node_id)
     : device_(device),
       geometry_(geometry),
       slot_(slot),
       num_sectors_(geometry.log_bytes / kLogSectorSize),
       reclaim_(std::move(reclaim)),
-      lease_expiry_us_(std::move(lease_expiry_us)) {
+      lease_expiry_us_(std::move(lease_expiry_us)),
+      node_id_(node_id) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_appends_ = reg->GetCounter("wal.appends");
   m_flush_us_ = reg->GetHistogram("wal.flush_us");
@@ -167,6 +169,9 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
     return OkStatus();
   }
   flushing_ = true;
+  // Opened only once this call owns the flush (the early-outs above are the
+  // re-entrant/no-op paths); args bound below once the batch is gathered.
+  obs::SpanScope span(obs::Layer::kWal, "wal.flush", node_id_);
 
   // Gather records to flush. A single pass writes at most half the log; if
   // more is pending (a huge backlog), loop: reclaim interleaves naturally.
@@ -191,6 +196,8 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
     return OkStatus();
   }
   uint64_t flush_bound = record_sizes.back().first;
+  span.arg0("lsn", flush_bound);
+  span.arg1("bytes", stream.size());
   uint32_t sectors_needed =
       static_cast<uint32_t>((stream.size() + kLogSectorPayload - 1) / kLogSectorPayload);
   if (sectors_needed > num_sectors_) {

@@ -73,9 +73,11 @@ class LogWriter {
   // write out all metadata blocks pinned by records with lsn <= the argument
   // (after which those records are dead weight and their space is reused).
   // `lease_expiry_us` supplies the write-fencing timestamp (may return 0).
+  // `node_id` tags this writer's flight-recorder spans with the owning
+  // simulated machine (0 = unattributed).
   LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
             std::function<Status(uint64_t up_to_lsn)> reclaim,
-            std::function<int64_t()> lease_expiry_us);
+            std::function<int64_t()> lease_expiry_us, uint32_t node_id = 0);
 
   // Buffers the record in memory and returns its lsn. The record is not
   // durable until FlushTo/FlushAll (or immediately when sync mode is on).
@@ -104,6 +106,7 @@ class LogWriter {
   uint32_t num_sectors_;
   std::function<Status(uint64_t)> reclaim_;
   std::function<int64_t()> lease_expiry_us_;
+  uint32_t node_id_;
 
   mutable std::mutex mu_;
   std::deque<std::pair<uint64_t, Bytes>> pending_;  // (lsn, encoded record)

@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/lock/clerk.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -101,10 +102,15 @@ StatusOr<Bytes> CentralizedLockServer::DoRequest(Decoder& dec) {
   if (!slots_.IsOpen(slot) || slots_.Expired(slot)) {
     return StaleLease("lease not live");
   }
+  obs::SpanScope span(obs::Layer::kLock, "lockd.request", self_, "lock", lock, "mode",
+                      static_cast<uint64_t>(mode));
   RETURN_IF_ERROR(core_.Request(
       slot, lock, mode,
       [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
       [this](uint32_t holder) { HandleDeadHolder(holder); }));
+  if (obs::RecorderEnabled()) {
+    obs::RecordInstant(obs::Layer::kLock, "lockd.grant", self_, "lock", lock, "slot", slot);
+  }
   return Bytes{};
 }
 
@@ -128,6 +134,8 @@ Status CentralizedLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode ne
   if (clerk == kInvalidNode) {
     return OkStatus();  // slot already gone; core re-checks
   }
+  obs::SpanScope span(obs::Layer::kLock, "lockd.revoke_rpc", self_, "lock", lock, "holder",
+                      holder);
   Encoder enc;
   enc.PutU64(lock);
   enc.PutU8(static_cast<uint8_t>(new_mode));

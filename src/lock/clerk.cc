@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/base/serial.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -119,6 +120,8 @@ Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request)
 Status LockClerk::Acquire(LockId lock, LockMode mode) {
   FGP_CHECK(mode != LockMode::kNone);
   obs::LayerTimer timer(obs::Layer::kLock, m_acquire_us_);
+  obs::SpanScope span(obs::Layer::kLock, "lock.acquire", self_, "lock", lock, "mode",
+                      static_cast<uint64_t>(mode));
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
     if (poisoned_ || !open_) {
@@ -156,6 +159,8 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
     Status st;
     {
       obs::LayerTimer grant_timer(obs::Layer::kLock, m_grant_wait_us_);
+      obs::SpanScope grant_span(obs::Layer::kLock, "lock.grant_wait", self_, "lock", lock,
+                                "mode", static_cast<uint64_t>(mode));
       st = ServerCall(kLockRequest, lock, enc.buffer());
     }
 
@@ -188,6 +193,9 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
 
 void LockClerk::Release(LockId lock) {
   obs::LayerTimer timer(obs::Layer::kLock, m_release_us_);
+  if (obs::RecorderEnabled()) {
+    obs::RecordInstant(obs::Layer::kLock, "lock.release", self_, "lock", lock);
+  }
   std::lock_guard<std::mutex> guard(mu_);
   auto it = cache_.find(lock);
   if (it == cache_.end()) {
@@ -352,6 +360,10 @@ StatusOr<Bytes> LockClerk::HandleRevoke(Decoder& dec) {
   }
   m_revokes_->Increment();
   obs::LayerTimer timer(obs::Layer::kLock, m_revoke_us_);
+  // Covers wait-for-users, the flush callback, and the downgrade: the
+  // clerk-side half of a lock handoff chain.
+  obs::SpanScope span(obs::Layer::kLock, "lock.revoke", self_, "lock", lock, "new_mode",
+                      static_cast<uint64_t>(new_mode));
   std::unique_lock<std::mutex> lk(mu_);
   if (poisoned_ || !open_) {
     // Our dirty data is gone with the lease; the lock must not change hands

@@ -6,6 +6,7 @@
 #include "src/base/logging.h"
 #include "src/base/serial.h"
 #include "src/lock/clerk.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -316,10 +317,17 @@ StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
     }
   }
   WarmColdGroups();
+  // Covers conflict resolution: any revoke chain this grant triggers runs
+  // inside (RevokeAt below), so a handoff shows as one nested span tree.
+  obs::SpanScope span(obs::Layer::kLock, "lockd.request", self_, "lock", lock, "mode",
+                      static_cast<uint64_t>(mode));
   RETURN_IF_ERROR(core_.Request(
       slot, lock, mode,
       [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
       [this](uint32_t holder) { HandleDeadHolder(holder); }));
+  if (obs::RecorderEnabled()) {
+    obs::RecordInstant(obs::Layer::kLock, "lockd.grant", self_, "lock", lock, "slot", slot);
+  }
   return Bytes{};
 }
 
@@ -416,6 +424,8 @@ Status DistLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode)
   if (clerk == kInvalidNode) {
     return OkStatus();
   }
+  obs::SpanScope span(obs::Layer::kLock, "lockd.revoke_rpc", self_, "lock", lock, "holder",
+                      holder);
   Encoder enc;
   enc.PutU64(lock);
   enc.PutU8(static_cast<uint8_t>(new_mode));

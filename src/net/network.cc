@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/base/logging.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -21,9 +22,11 @@ NodeId Network::AddNode(std::string name) {
   node->params = defaults_;
   node->nic = std::make_unique<RateLimiter>(defaults_.bandwidth_bps);
   NodeId id = static_cast<NodeId>(nodes_.size() + 1);
+  node->id = id;
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   node->m_msgs = reg->GetCounter("net.n" + std::to_string(id) + ".msgs");
   node->m_bytes = reg->GetCounter("net.n" + std::to_string(id) + ".bytes");
+  obs::Recorder::Default()->SetNodeName(id, node->name);
   nodes_.push_back(std::move(node));
   return id;
 }
@@ -70,6 +73,8 @@ bool Network::Reachable(NodeId from, NodeId to) {
 }
 
 void Network::Transmit(Node& src, Node& dst, size_t bytes) {
+  // Attributed to the sending node: wire time, queueing included.
+  obs::SpanScope span(obs::Layer::kNet, "net.tx", src.id, "bytes", bytes, "dst", dst.id);
   // A message occupies the sender's and the receiver's link; the completion
   // time is the later of the two reservations plus propagation latency.
   TimePoint t1 = src.nic->Acquire(bytes);
@@ -91,6 +96,12 @@ void Network::Transmit(Node& src, Node& dst, size_t bytes) {
 
 StatusOr<Bytes> Network::Call(NodeId from, NodeId to, const std::string& service,
                               uint32_t method, const Bytes& request) {
+  // Whole-RPC span (request wire + handler + reply wire), attributed to the
+  // caller. The interning cost is only paid while the recorder is on.
+  obs::SpanScope rpc_span(
+      obs::Layer::kNet,
+      obs::RecorderEnabled() ? obs::InternString("rpc." + service) : "rpc", from, "dst",
+      to, "method", method);
   Service* svc = nullptr;
   Node* src = nullptr;
   Node* dst = nullptr;
@@ -140,7 +151,20 @@ ThreadPool* Network::IoPool() {
   return io_pool_.get();
 }
 
-void Network::SubmitIo(std::function<void()> fn) { IoPool()->Submit(std::move(fn)); }
+void Network::SubmitIo(std::function<void()> fn) {
+  // Carry the submitting op's trace id onto the worker so the flight
+  // recorder parents pool-side spans under the op. Layer attribution is
+  // untouched (InheritedTraceScope creates no TraceState).
+  uint64_t trace_id = obs::CurrentTraceId();
+  if (trace_id == 0) {
+    IoPool()->Submit(std::move(fn));
+    return;
+  }
+  IoPool()->Submit([trace_id, fn = std::move(fn)] {
+    obs::InheritedTraceScope inherit(trace_id);
+    fn();
+  });
+}
 
 std::future<StatusOr<Bytes>> Network::CallAsync(NodeId from, NodeId to,
                                                 const std::string& service, uint32_t method,
@@ -150,7 +174,8 @@ std::future<StatusOr<Bytes>> Network::CallAsync(NodeId from, NodeId to,
         return Call(from, to, service, method, req);
       });
   std::future<StatusOr<Bytes>> result = task->get_future();
-  IoPool()->Submit([task] { (*task)(); });
+  // Via SubmitIo so the async call inherits the submitter's trace id.
+  SubmitIo([task] { (*task)(); });
   return result;
 }
 

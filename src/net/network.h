@@ -124,6 +124,7 @@ class Network {
 
  private:
   struct Node {
+    NodeId id = 0;
     std::string name;
     bool up = true;
     bool isolated = false;

@@ -75,6 +75,7 @@ std::string MetricsRegistry::ExportText() const {
   for (const auto& [name, h] : histograms_) {
     out << name << " count=" << h->count() << " mean=" << FormatDouble(h->Mean())
         << " p50=" << FormatDouble(h->Percentile(0.5))
+        << " p90=" << FormatDouble(h->Percentile(0.9))
         << " p99=" << FormatDouble(h->Percentile(0.99))
         << " max=" << FormatDouble(h->Max()) << "\n";
   }
@@ -104,6 +105,7 @@ std::string MetricsRegistry::ExportJson() const {
     if (!first) out << ",";
     first = false;
     out << "\"" << JsonEscape(name) << "\":{\"count\":" << h->count()
+        << ",\"sum\":" << FormatDouble(h->Sum())
         << ",\"mean\":" << FormatDouble(h->Mean())
         << ",\"p50\":" << FormatDouble(h->Percentile(0.5))
         << ",\"p90\":" << FormatDouble(h->Percentile(0.9))
@@ -112,6 +114,24 @@ std::string MetricsRegistry::ExportJson() const {
   }
   out << "}}";
   return out.str();
+}
+
+void MetricsRegistry::SnapshotValues(std::map<std::string, double>* out,
+                                     std::vector<std::string>* gauge_names) const {
+  std::lock_guard<std::mutex> l(mu_);
+  for (const auto& [name, c] : counters_) {
+    (*out)[name] = static_cast<double>(c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    (*out)[name] = static_cast<double>(g->value());
+    if (gauge_names != nullptr) {
+      gauge_names->push_back(name);
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    (*out)[name + ".count"] = static_cast<double>(h->count());
+    (*out)[name + ".sum"] = h->Sum();
+  }
 }
 
 void MetricsRegistry::ResetAll() {

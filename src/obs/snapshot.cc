@@ -1,0 +1,100 @@
+#include "src/obs/snapshot.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/obs/trace.h"
+
+namespace frangipani {
+namespace obs {
+
+MetricsSampler::MetricsSampler(MetricsRegistry* registry) : registry_(registry) {}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Tick() {
+  std::lock_guard<std::mutex> guard(mu_);
+  TickLocked();
+}
+
+void MetricsSampler::TickLocked() {
+  std::map<std::string, double> cur;
+  std::vector<std::string> gauge_names;
+  registry_->SnapshotValues(&cur, &gauge_names);
+  gauges_.insert(gauge_names.begin(), gauge_names.end());
+  int64_t now_ns = MonotonicNs();
+  if (!has_baseline_) {
+    has_baseline_ = true;
+    baseline_ns_ = now_ns;
+    prev_ = std::move(cur);
+    return;
+  }
+  Window w;
+  w.end_ms = (now_ns - baseline_ns_) / 1'000'000;
+  for (const auto& [name, value] : cur) {
+    if (gauges_.count(name) != 0) {
+      w.values[name] = value;
+    } else {
+      auto it = prev_.find(name);
+      // Metrics born mid-run delta against zero.
+      w.values[name] = value - (it != prev_.end() ? it->second : 0.0);
+    }
+  }
+  windows_.push_back(std::move(w));
+  prev_ = std::move(cur);
+}
+
+void MetricsSampler::Start(Duration period) {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (task_ != nullptr) {
+    return;
+  }
+  if (!has_baseline_) {
+    TickLocked();  // baseline at Start time
+  }
+  task_ = std::make_unique<PeriodicTask>(period, [this] { Tick(); });
+}
+
+void MetricsSampler::Stop() {
+  std::unique_ptr<PeriodicTask> task;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    task = std::move(task_);
+  }
+  // Joined outside mu_: the periodic thread may be blocked in Tick().
+  task.reset();
+}
+
+void MetricsSampler::Reset() {
+  std::lock_guard<std::mutex> guard(mu_);
+  has_baseline_ = false;
+  baseline_ns_ = 0;
+  prev_.clear();
+  windows_.clear();
+}
+
+size_t MetricsSampler::window_count() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return windows_.size();
+}
+
+std::string MetricsSampler::ExportCsv() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  std::ostringstream out;
+  out << "window,t_ms,metric,value\n";
+  char buf[64];
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    const Window& w = windows_[i];
+    for (const auto& [name, value] : w.values) {
+      if (value == 0.0) {
+        continue;
+      }
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out << i << "," << w.end_ms << "," << name << "," << buf << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace frangipani

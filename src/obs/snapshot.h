@@ -1,0 +1,81 @@
+// Windowed metrics snapshots: turns the cumulative MetricsRegistry into a
+// time series. Each Tick() captures the flat value view (SnapshotValues) and
+// the delta against the previous tick becomes one window:
+//   - counters report the per-window delta (so rates are Δ / window length)
+//   - gauges report their instantaneous value
+//   - histograms report Δcount and the window mean (Δsum / Δcount); per-
+//     window percentiles are not available (the buckets are cumulative) —
+//     use the end-of-run metrics sidecar for those.
+// Start(period) runs Tick on a background thread every period; tests call
+// Tick() directly for deterministic window boundaries. Zero-delta rows are
+// skipped in the CSV so idle metrics don't bloat the sidecar.
+#ifndef SRC_OBS_SNAPSHOT_H_
+#define SRC_OBS_SNAPSHOT_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/base/thread_pool.h"
+#include "src/obs/metrics.h"
+
+namespace frangipani {
+namespace obs {
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(MetricsRegistry* registry = MetricsRegistry::Default());
+  ~MetricsSampler();  // stops the background thread if running
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Captures one window ending now. The first call sets the baseline and
+  // produces no window. Thread-safe (the background thread calls this too).
+  void Tick();
+
+  // Starts a background thread calling Tick() every `period`. The call
+  // itself takes the baseline snapshot, so the first periodic window starts
+  // at Start time.
+  void Start(Duration period);
+
+  // Stops the background thread (idempotent; safe if never started).
+  void Stop();
+
+  // Drops captured windows and the baseline.
+  void Reset();
+
+  size_t window_count() const;
+
+  // Long-format CSV: window,t_ms,metric,value with one header line.
+  // t_ms is the window's end time relative to the baseline snapshot.
+  // Counter/histogram rows are deltas; gauge rows are levels; rows whose
+  // value is zero are skipped.
+  std::string ExportCsv() const;
+
+ private:
+  struct Window {
+    int64_t end_ms = 0;  // relative to baseline
+    // metric -> delta (counters, histogram .count/.sum) or level (gauges)
+    std::map<std::string, double> values;
+  };
+
+  void TickLocked();
+
+  MetricsRegistry* registry_;
+  mutable std::mutex mu_;
+  bool has_baseline_ = false;
+  int64_t baseline_ns_ = 0;
+  std::map<std::string, double> prev_;
+  std::set<std::string> gauges_;  // report levels, not deltas
+  std::vector<Window> windows_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace obs
+}  // namespace frangipani
+
+#endif  // SRC_OBS_SNAPSHOT_H_

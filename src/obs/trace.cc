@@ -4,12 +4,17 @@
 #include <atomic>
 #include <chrono>
 
+#include "src/obs/recorder.h"
+
 namespace frangipani {
 namespace obs {
 
 namespace {
 
 thread_local TraceState* g_active = nullptr;
+// Set by InheritedTraceScope on pool threads; consulted by CurrentTraceId
+// when no OpTrace is rooted on this thread.
+thread_local uint64_t g_inherited_trace_id = 0;
 std::atomic<uint64_t> g_next_trace_id{1};
 
 }  // namespace
@@ -48,6 +53,7 @@ OpMetrics OpMetrics::For(MetricsRegistry* registry, const std::string& op) {
     m.layer_us[i] = registry->GetHistogram(
         "op." + op + "." + LayerName(static_cast<Layer>(i)) + "_us");
   }
+  m.name = InternString(op);
   return m;
 }
 
@@ -57,13 +63,23 @@ int64_t MonotonicNs() {
       .count();
 }
 
-uint64_t CurrentTraceId() { return g_active != nullptr ? g_active->trace_id : 0; }
+uint64_t CurrentTraceId() {
+  return g_active != nullptr ? g_active->trace_id : g_inherited_trace_id;
+}
 
-OpTrace::OpTrace(const OpMetrics* metrics) : active_(g_active == nullptr) {
+InheritedTraceScope::InheritedTraceScope(uint64_t trace_id)
+    : saved_(g_inherited_trace_id) {
+  g_inherited_trace_id = trace_id;
+}
+
+InheritedTraceScope::~InheritedTraceScope() { g_inherited_trace_id = saved_; }
+
+OpTrace::OpTrace(const OpMetrics* metrics, uint32_t node) : active_(g_active == nullptr) {
   if (!active_) {
     return;
   }
   state_.trace_id = g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  state_.node = node;
   state_.start_ns = MonotonicNs();
   state_.metrics = metrics;
   g_active = &state_;
@@ -75,12 +91,28 @@ OpTrace::~OpTrace() {
   }
   g_active = nullptr;
   int64_t total_ns = MonotonicNs() - state_.start_ns;
+  const OpMetrics* m = state_.metrics;
+  if (RecorderEnabled()) {
+    // Root span first, so a slow-op scan below finds it in the ring.
+    TraceEvent e;
+    e.trace_id = state_.trace_id;
+    e.node = state_.node;
+    e.layer = Layer::kFs;
+    e.name = (m != nullptr && m->name != nullptr) ? m->name : "op";
+    e.start_ns = state_.start_ns;
+    e.dur_ns = total_ns;
+    Recorder* rec = Recorder::Default();
+    rec->Emit(e);
+    int64_t slow_us = rec->slow_op_us();
+    if (slow_us > 0 && total_ns >= slow_us * 1000) {
+      rec->PromoteSlowOp(state_.trace_id, e.name, state_.node, state_.start_ns, total_ns);
+    }
+  }
   // Inner layers subtracted their elapsed time from their parent as they
   // closed; charging the total to kFs leaves it holding exactly the time
   // spent in fs code itself, and makes the layers sum to the total.
   state_.layer_ns[static_cast<int>(Layer::kFs)] += total_ns;
   state_.layer_calls[static_cast<int>(Layer::kFs)] += 1;
-  const OpMetrics* m = state_.metrics;
   if (m == nullptr) {
     return;
   }

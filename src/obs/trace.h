@@ -41,12 +41,16 @@ struct OpMetrics {
   Counter* count = nullptr;
   Histogram* total_us = nullptr;
   Histogram* layer_us[kNumLayers] = {};
+  // Interned op name ("create", "read", ...), used as the root span's name
+  // in the flight recorder.
+  const char* name = nullptr;
 
   static OpMetrics For(MetricsRegistry* registry, const std::string& op);
 };
 
 struct TraceState {
   uint64_t trace_id = 0;
+  uint32_t node = 0;  // simulated machine running the op (0 = unattributed)
   int64_t start_ns = 0;
   int64_t layer_ns[kNumLayers] = {};
   uint64_t layer_calls[kNumLayers] = {};
@@ -58,13 +62,36 @@ struct TraceState {
 // delays with real sleeps, so wall time is the right measure.
 int64_t MonotonicNs();
 
-// Trace id of the op active on this thread, 0 if none. Used by FLOG-style
-// diagnostics to correlate lines with an op.
+// Trace id of the op active on this thread: the OpTrace rooted here, or the
+// id inherited from the submitting op (InheritedTraceScope) on pool threads;
+// 0 if neither. Used by the flight recorder to parent spans and by
+// FLOG-style diagnostics to correlate lines with an op.
 uint64_t CurrentTraceId();
+
+// Carries a trace id onto a worker thread for the duration of a scope, so
+// spans emitted by IO-pool / prefetch work appear as children of the
+// submitting op in the flight recorder. Deliberately does NOT create a
+// TraceState: LayerTimer exclusive-time attribution still sees no active
+// trace on the worker, so per-op layer breakdowns keep answering "where did
+// this call's latency go" (satellite: parentage changes, attribution
+// doesn't). Nests by save/restore, so chained submits are safe.
+class InheritedTraceScope {
+ public:
+  explicit InheritedTraceScope(uint64_t trace_id);
+  ~InheritedTraceScope();
+
+  InheritedTraceScope(const InheritedTraceScope&) = delete;
+  InheritedTraceScope& operator=(const InheritedTraceScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
 
 class OpTrace {
  public:
-  explicit OpTrace(const OpMetrics* metrics);
+  // `node` is the simulated machine running the op; it tags the root span
+  // and slow-op captures in the flight recorder.
+  explicit OpTrace(const OpMetrics* metrics, uint32_t node = 0);
   ~OpTrace();
 
   OpTrace(const OpTrace&) = delete;

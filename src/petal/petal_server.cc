@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/base/logging.h"
+#include "src/obs/recorder.h"
 #include "src/obs/trace.h"
 
 namespace frangipani {
@@ -375,9 +376,12 @@ StatusOr<Bytes> PetalServer::Handle(uint32_t method, const Bytes& request, NodeI
 
 StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
   obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_read_us_);
+  obs::SpanScope span(obs::Layer::kPetal, "petal.read", self_);
   VdiskId vdisk = dec.GetU32();
   uint64_t offset = dec.GetU64();
   uint32_t length = dec.GetU32();
+  span.arg0("chunk", ChunkIndexOf(offset));
+  span.arg1("bytes", length);
   if (!dec.ok()) {
     return InvalidArgument("bad read request");
   }
@@ -421,10 +425,13 @@ StatusOr<Bytes> PetalServer::DoRead(Decoder& dec) {
 
 StatusOr<Bytes> PetalServer::DoWrite(Decoder& dec) {
   obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_write_us_);
+  obs::SpanScope span(obs::Layer::kPetal, "petal.write", self_);
   VdiskId vdisk = dec.GetU32();
   uint64_t offset = dec.GetU64();
   int64_t lease_expiry_us = dec.GetI64();
   Bytes data = dec.GetBytes();
+  span.arg0("chunk", ChunkIndexOf(offset));
+  span.arg1("bytes", data.size());
   if (!dec.ok() || data.empty()) {
     return InvalidArgument("bad write request");
   }
@@ -481,11 +488,14 @@ StatusOr<Bytes> PetalServer::DoWrite(Decoder& dec) {
 
 StatusOr<Bytes> PetalServer::DoReplicaWrite(Decoder& dec) {
   obs::LayerTimer op_timer(obs::Layer::kPetal, m_server_write_us_);
+  obs::SpanScope span(obs::Layer::kPetal, "petal.replica_write", self_);
   VdiskId vdisk = dec.GetU32();
   uint64_t index = dec.GetU64();
   uint32_t off_in_chunk = dec.GetU32();
   uint64_t version = dec.GetU64();
   Bytes data = dec.GetBytes();
+  span.arg0("chunk", index);
+  span.arg1("bytes", data.size());
   if (!dec.ok()) {
     return InvalidArgument("bad replica write");
   }

@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "src/base/logging.h"
+#include "src/obs/recorder.h"
 
 namespace frangipani {
 
@@ -41,6 +42,11 @@ Cluster::~Cluster() {
 }
 
 Status Cluster::Start() {
+  if (options_.flight_recorder) {
+    obs::Recorder* rec = obs::Recorder::Default();
+    rec->set_slow_op_us(options_.slow_op_us);
+    rec->Enable(true);
+  }
   // ---- Petal ----
   for (int i = 0; i < options_.petal_servers; ++i) {
     petal_nodes_.push_back(net_.AddNode("petal" + std::to_string(i)));
@@ -231,6 +237,21 @@ Status Cluster::DumpMetricsToFile(const std::string& path) const {
   out.close();
   if (!out) {
     return IoError("short write to metrics dump file: " + path);
+  }
+  return OkStatus();
+}
+
+std::string Cluster::DumpTraceJson() const { return obs::Recorder::Default()->DumpJson(); }
+
+Status Cluster::DumpTraceToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return IoError("cannot open trace dump file: " + path);
+  }
+  out << DumpTraceJson() << "\n";
+  out.close();
+  if (!out) {
+    return IoError("short write to trace dump file: " + path);
   }
   return OkStatus();
 }

@@ -42,6 +42,14 @@ struct ClusterOptions {
   Geometry geometry{};
   NodeOptions node{};
   std::string lock_table = "fs";
+
+  // ---- flight recorder ----
+  // Start() enables the process-wide event recorder; spans from every layer
+  // land in per-thread rings, exportable via DumpTraceJson. Always-on slow-op
+  // capture promotes ops slower than `slow_op_us` to a keep-list that
+  // survives ring overwrite (0 disables promotion).
+  bool flight_recorder = true;
+  int64_t slow_op_us = 20'000;
 };
 
 class Cluster {
@@ -97,6 +105,14 @@ class Cluster {
   std::string DumpMetrics() const;       // human-readable text
   std::string DumpMetricsJson() const;
   Status DumpMetricsToFile(const std::string& path) const;  // JSON
+
+  // Chrome trace-event JSON from the process-wide flight recorder: the most
+  // recent window of spans per thread plus every captured slow op, with one
+  // Perfetto process row per simulated node. Like the metrics registry, the
+  // recorder is global — a process hosting several Clusters dumps all of
+  // them (node ids stay distinct, names reflect the latest AddNode).
+  std::string DumpTraceJson() const;
+  Status DumpTraceToFile(const std::string& path) const;
 
  private:
   ClusterOptions options_;

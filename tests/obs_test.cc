@@ -2,12 +2,17 @@
 // trace spans, and the cross-layer propagation through a real FS op.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <future>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/net/network.h"
 #include "src/obs/metrics.h"
+#include "src/obs/recorder.h"
+#include "src/obs/snapshot.h"
 #include "src/obs/trace.h"
 #include "src/server/cluster.h"
 
@@ -97,7 +102,7 @@ TEST(MetricsRegistryTest, JsonExportRoundTrip) {
   // Values survive the trip.
   EXPECT_NE(json.find("\"fs.ops\":42"), std::string::npos);
   EXPECT_NE(json.find("\"cache.bytes\":-7"), std::string::npos);
-  EXPECT_NE(json.find("\"op.read.total_us\":{\"count\":100,\"mean\":50.5"),
+  EXPECT_NE(json.find("\"op.read.total_us\":{\"count\":100,\"sum\":5050,\"mean\":50.5"),
             std::string::npos);
   EXPECT_NE(json.find("\"max\":100"), std::string::npos);
   // Balanced braces (no truncation).
@@ -234,6 +239,257 @@ TEST(TracePropagationTest, FsOpsProduceLayerBreakdowns) {
   EXPECT_NE(json.find("\"op.read.petal_us\""), std::string::npos);
   std::string text = cluster.DumpMetrics();
   EXPECT_NE(text.find("op.create.count"), std::string::npos);
+}
+
+// ---- Flight recorder ----
+
+using obs::EventKind;
+using obs::Recorder;
+using obs::RecordInstant;
+using obs::SpanScope;
+using obs::TraceEvent;
+
+// The disabled path is one relaxed load: no ring is allocated, no event is
+// constructed, no counter moves.
+TEST(RecorderTest, DisabledPathAllocatesNothing) {
+  Recorder* rec = Recorder::Default();
+  rec->Enable(false);
+  rec->Clear();
+  MetricsRegistry* reg = MetricsRegistry::Default();
+  uint64_t events_before = reg->GetCounter("obs.events")->value();
+  uint64_t dropped_before = reg->GetCounter("obs.dropped_events")->value();
+  for (int i = 0; i < 1000; ++i) {
+    SpanScope span(Layer::kPetal, "disabled.span", 1, "i", i);
+    RecordInstant(Layer::kLock, "disabled.instant", 1);
+  }
+  EXPECT_EQ(rec->ring_count(), 0u);
+  EXPECT_TRUE(rec->Snapshot().empty());
+  EXPECT_EQ(reg->GetCounter("obs.events")->value(), events_before);
+  EXPECT_EQ(reg->GetCounter("obs.dropped_events")->value(), dropped_before);
+}
+
+TEST(RecorderTest, RingWraparoundOverwritesOldestAndCountsDrops) {
+  Recorder* rec = Recorder::Default();
+  rec->Enable(true);
+  rec->Clear();
+  MetricsRegistry* reg = MetricsRegistry::Default();
+  uint64_t dropped_before = reg->GetCounter("obs.dropped_events")->value();
+  constexpr uint64_t kExtra = 100;
+  // One marker that must be overwritten, then enough to wrap the ring.
+  RecordInstant(Layer::kFs, "wrap.early", 1);
+  for (uint64_t i = 0; i + 1 < Recorder::kRingSlots + kExtra; ++i) {
+    RecordInstant(Layer::kFs, "wrap.late", 1, "i", i);
+  }
+  std::vector<TraceEvent> snap = rec->Snapshot();
+  EXPECT_EQ(snap.size(), Recorder::kRingSlots);
+  for (const TraceEvent& e : snap) {
+    EXPECT_STRNE(e.name, "wrap.early");
+  }
+  EXPECT_EQ(reg->GetCounter("obs.dropped_events")->value(), dropped_before + kExtra);
+  rec->Enable(false);
+  rec->Clear();
+}
+
+// A promoted slow op keeps a copy of its span tree, so later ring
+// wraparound cannot erase it; the kept events also reach DumpJson.
+TEST(RecorderTest, SlowOpPromotionSurvivesWraparound) {
+  Recorder* rec = Recorder::Default();
+  rec->Enable(true);
+  rec->Clear();
+  rec->set_slow_op_us(1);  // everything is "slow"
+  MetricsRegistry* reg = MetricsRegistry::Default();
+  uint64_t promoted_before = reg->GetCounter("obs.slow_ops")->value();
+  MetricsRegistry local;
+  OpMetrics m = OpMetrics::For(&local, "slowop");
+  uint64_t id = 0;
+  {
+    OpTrace op(&m, /*node=*/7);
+    id = obs::CurrentTraceId();
+    SpanScope inner(Layer::kPetal, "slowop.inner", 7, "chunk", 42);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  rec->set_slow_op_us(0);
+  EXPECT_EQ(reg->GetCounter("obs.slow_ops")->value(), promoted_before + 1);
+  // Wrap the ring so the live copies of the op's events are overwritten.
+  for (uint64_t i = 0; i < Recorder::kRingSlots + 8; ++i) {
+    RecordInstant(Layer::kFs, "slowop.filler", 7);
+  }
+  std::vector<Recorder::SlowOp> kept = rec->SlowOps();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].trace_id, id);
+  EXPECT_EQ(kept[0].node, 7u);
+  EXPECT_STREQ(kept[0].op, "slowop");
+  bool has_inner = false;
+  for (const TraceEvent& e : kept[0].events) {
+    if (std::string(e.name) == "slowop.inner") {
+      has_inner = true;
+      EXPECT_EQ(e.trace_id, id);
+      EXPECT_EQ(e.a0, 42u);
+    }
+  }
+  EXPECT_TRUE(has_inner);
+  // The dump merges kept slow-op events back in even after overwrite.
+  std::string json = rec->DumpJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("slowop.inner"), std::string::npos);
+  EXPECT_FALSE(rec->SlowestOpSummary().empty());
+  rec->Enable(false);
+  rec->Clear();
+}
+
+// Emitters keep writing while another thread snapshots and dumps: the
+// seqlock skips mid-write slots instead of tearing them. Run under TSan in
+// CI to verify the memory-order protocol.
+TEST(RecorderTest, ConcurrentEmitDuringDump) {
+  Recorder* rec = Recorder::Default();
+  rec->Enable(true);
+  rec->Clear();
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 20000;  // > kRingSlots: wraps while dumping
+  std::atomic<int> running{kWriters};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        SpanScope span(Layer::kNet, "race.span", t + 1, "i", i);
+        RecordInstant(Layer::kNet, "race.instant", t + 1);
+      }
+      running.fetch_sub(1);
+    });
+  }
+  // Dump continuously until every writer has finished, so reads overlap the
+  // emits (and the overwrites, once the rings wrap).
+  do {
+    std::vector<TraceEvent> snap = rec->Snapshot();
+    for (const TraceEvent& e : snap) {
+      ASSERT_NE(e.name, nullptr);
+    }
+    std::string json = rec->DumpJson();
+    int depth = 0;
+    for (char ch : json) {
+      depth += (ch == '{') - (ch == '}');
+      ASSERT_GE(depth, 0);
+    }
+    ASSERT_EQ(depth, 0);
+  } while (running.load() > 0);
+  for (auto& w : writers) {
+    w.join();
+  }
+  // Exited writers retired their rings; their events are still visible.
+  EXPECT_FALSE(rec->Snapshot().empty());
+  rec->Enable(false);
+  rec->Clear();
+}
+
+// Async work submitted from inside a traced op inherits the op's trace id,
+// so spans emitted on IO-pool threads land in the same span tree.
+TEST(RecorderTest, TraceIdPropagatesThroughIoPool) {
+  Recorder* rec = Recorder::Default();
+  rec->Enable(true);
+  rec->Clear();
+  Network net;
+  MetricsRegistry local;
+  OpMetrics m = OpMetrics::For(&local, "async_op");
+  uint64_t id = 0;
+  std::atomic<uint64_t> submit_seen{0};
+  std::vector<uint64_t> pf_seen(8, 0);
+  {
+    OpTrace op(&m);
+    id = obs::CurrentTraceId();
+    ASSERT_NE(id, 0u);
+    std::promise<void> done;
+    net.SubmitIo([&] {
+      submit_seen.store(obs::CurrentTraceId());
+      {
+        SpanScope span(Layer::kPetal, "pool.span");
+      }
+      // Signal only after the span has been emitted, so the snapshot below
+      // is ordered after it.
+      done.set_value();
+    });
+    done.get_future().wait();
+    ASSERT_TRUE(net.ParallelFor(pf_seen.size(), /*window=*/4,
+                                [&](size_t i) {
+                                  pf_seen[i] = obs::CurrentTraceId();
+                                  return Status::Ok();
+                                })
+                    .ok());
+  }
+  EXPECT_EQ(submit_seen.load(), id);
+  for (uint64_t seen : pf_seen) {
+    EXPECT_EQ(seen, id);
+  }
+  // Off the pool and outside the op, no id leaks.
+  EXPECT_EQ(obs::CurrentTraceId(), 0u);
+  bool pool_span_tagged = false;
+  for (const TraceEvent& e : rec->Snapshot()) {
+    if (std::string(e.name) == "pool.span") {
+      pool_span_tagged = e.trace_id == id;
+    }
+  }
+  EXPECT_TRUE(pool_span_tagged);
+  rec->Enable(false);
+  rec->Clear();
+}
+
+// ---- Windowed snapshots ----
+
+TEST(SamplerTest, WindowedDeltaMath) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("c");
+  obs::Gauge* g = reg.GetGauge("g");
+  Histogram* h = reg.GetHistogram("h");
+  c->Increment(5);
+  g->Set(3);
+  h->Record(10);
+  obs::MetricsSampler sampler(&reg);
+  sampler.Tick();  // baseline only, no window
+  EXPECT_EQ(sampler.window_count(), 0u);
+
+  c->Increment(7);
+  g->Set(10);
+  h->Record(4);
+  h->Record(6);
+  sampler.Tick();
+  EXPECT_EQ(sampler.window_count(), 1u);
+
+  sampler.Tick();  // idle window: only the gauge level is nonzero
+  EXPECT_EQ(sampler.window_count(), 2u);
+
+  std::string csv = sampler.ExportCsv();
+  EXPECT_EQ(csv.rfind("window,t_ms,metric,value\n", 0), 0u);
+  // Window 0: counter delta 7 (not the cumulative 12), histogram deltas
+  // count=2 / sum=10, gauge level 10.
+  EXPECT_NE(csv.find(",c,7\n"), std::string::npos);
+  EXPECT_EQ(csv.find(",c,12\n"), std::string::npos);
+  EXPECT_NE(csv.find(",h.count,2\n"), std::string::npos);
+  EXPECT_NE(csv.find(",h.sum,10\n"), std::string::npos);
+  EXPECT_NE(csv.find(",g,10\n"), std::string::npos);
+  // The idle window emits no counter/histogram rows (zero deltas skipped).
+  size_t first = csv.find(",c,7\n");
+  EXPECT_EQ(csv.find(",c,", first + 1), std::string::npos);
+
+  sampler.Reset();
+  EXPECT_EQ(sampler.window_count(), 0u);
+  // After Reset the next Tick is a baseline again.
+  sampler.Tick();
+  EXPECT_EQ(sampler.window_count(), 0u);
+}
+
+TEST(SamplerTest, BackgroundStartStop) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("bg");
+  obs::MetricsSampler sampler(&reg);
+  sampler.Start(Duration(5'000));  // 5 ms windows
+  for (int i = 0; i < 20; ++i) {
+    c->Increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.Stop();
+  EXPECT_GE(sampler.window_count(), 2u);
+  std::string csv = sampler.ExportCsv();
+  EXPECT_NE(csv.find(",bg,"), std::string::npos);
+  sampler.Stop();  // idempotent
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+// CI smoke check for the flight recorder: runs a tiny in-process cluster
+// with an aggressive slow-op threshold so every op is promoted, then prints
+// the critical path of the slowest captured op and writes a Perfetto trace.
+// Exits nonzero if the recorder captured nothing (instrumentation broke) or
+// the trace dump is malformed.
+//
+// Usage: trace_summary [output.trace.json]
+#include <cstdio>
+#include <string>
+
+#include "src/obs/recorder.h"
+#include "src/server/cluster.h"
+
+using namespace frangipani;
+
+int main(int argc, char** argv) {
+  ClusterOptions opts;
+  opts.petal_servers = 3;
+  opts.disks_per_petal = 1;
+  opts.slow_op_us = 1;  // promote everything: this is a capture smoke test
+  Cluster cluster(opts);
+  if (!cluster.Start().ok()) {
+    std::fprintf(stderr, "trace_summary: cluster start failed\n");
+    return 1;
+  }
+  auto node0 = cluster.AddFrangipani();
+  auto node1 = cluster.AddFrangipani();
+  if (!node0.ok() || !node1.ok()) {
+    std::fprintf(stderr, "trace_summary: mount failed\n");
+    return 1;
+  }
+
+  // A write-shared file forces a revoke -> flush -> release -> grant chain
+  // between the two nodes, exercising every instrumented layer.
+  auto created = (*node0)->fs()->Create("/shared");
+  if (!created.ok()) {
+    std::fprintf(stderr, "trace_summary: create failed\n");
+    return 1;
+  }
+  Bytes unit(64 * 1024, 0xAB);
+  for (int lap = 0; lap < 3; ++lap) {
+    if (!(*node0)->fs()->Write(*created, 0, unit).ok() ||
+        !(*node0)->fs()->Fsync(*created).ok() ||
+        !(*node1)->fs()->Write(*created, unit.size(), unit).ok() ||
+        !(*node1)->fs()->Fsync(*created).ok()) {
+      std::fprintf(stderr, "trace_summary: shared writes failed\n");
+      return 1;
+    }
+  }
+
+  obs::Recorder* rec = obs::Recorder::Default();
+  std::string summary = rec->SlowestOpSummary();
+  if (summary.empty()) {
+    std::fprintf(stderr, "trace_summary: no slow op captured (recorder broken?)\n");
+    return 1;
+  }
+  std::printf("%s", summary.c_str());
+
+  std::string json = cluster.DumpTraceJson();
+  if (json.size() < 2 || json.front() != '{' || json.back() != '}' ||
+      json.find("\"traceEvents\"") == std::string::npos ||
+      json.find("lock.acquire") == std::string::npos ||
+      json.find("wal.flush") == std::string::npos ||
+      json.find("petal.write") == std::string::npos ||
+      json.find("net.tx") == std::string::npos) {
+    std::fprintf(stderr, "trace_summary: trace dump missing expected spans\n");
+    return 1;
+  }
+  if (argc > 1) {
+    if (!cluster.DumpTraceToFile(argv[1]).ok()) {
+      std::fprintf(stderr, "trace_summary: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::printf("[trace written to %s]\n", argv[1]);
+  }
+  return 0;
+}
