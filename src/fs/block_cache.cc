@@ -18,6 +18,7 @@ BlockCache::BlockCache(BlockDevice* device, LogWriter* wal, BlockCacheOptions op
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_hits_ = reg->GetCounter("fs.cache.hits");
   m_misses_ = reg->GetCounter("fs.cache.misses");
+  m_cross_shard_evictions_ = reg->GetCounter("fs.cache.cross_shard_evictions");
   m_shard_wait_us_ = reg->GetHistogram("fs.cache.shard_wait_us");
   reg->GetGauge("fs.cache.shards")->Set(static_cast<int64_t>(shards_.size()));
   io_pool_ = std::make_unique<ThreadPool>(options_.io_threads);
@@ -31,7 +32,8 @@ std::unique_lock<std::mutex> BlockCache::LockShard(const Shard& shard) const {
   return lk;
 }
 
-StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock) {
+StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock,
+                                 uint64_t range_off) {
   Shard& shard = ShardFor(addr);
   std::shared_ptr<const Bytes> blob;
   {
@@ -64,17 +66,19 @@ StatusOr<Bytes> BlockCache::Read(uint64_t addr, uint32_t size, LockId lock) {
       Entry e;
       e.data = blob;
       e.lock = lock;
+      e.range_off = range_off;
       e.lru_seq = ++lru_counter_;
       bytes_ += blob->size();
       shard.entries.emplace(addr, std::move(e));
       shard.by_lock[lock].insert(addr);
-      EvictShardLocked(shard);
+      EvictShardLocked(shard, ShardIndex(addr));
     }
   }
   return *blob;
 }
 
-Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn) {
+Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn,
+                            uint64_t range_off) {
   Shard& home = ShardFor(addr);
   {
     std::unique_lock<std::mutex> lk = LockShard(home);
@@ -88,6 +92,7 @@ Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin
       }
     }
     e.lock = lock;
+    e.range_off = range_off;
     e.data = std::make_shared<const Bytes>(std::move(data));
     e.dirty = true;
     e.dirty_gen++;
@@ -95,7 +100,7 @@ Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin
     e.lru_seq = ++lru_counter_;
     bytes_ += e.data->size();
     dirty_bytes_ += e.data->size();
-    EvictShardLocked(home);
+    EvictShardLocked(home, ShardIndex(addr));
   }
 
   // Write throttling / write-behind: bring dirty data back under control.
@@ -154,7 +159,8 @@ Status BlockCache::PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin
   return OkStatus();
 }
 
-void BlockCache::PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch) {
+void BlockCache::PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch,
+                               uint64_t range_off) {
   Shard& shard = ShardFor(addr);
   std::unique_lock<std::mutex> lk = LockShard(shard);
   {
@@ -173,12 +179,13 @@ void BlockCache::PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t 
   }
   Entry e;
   e.lock = lock;
+  e.range_off = range_off;
   e.lru_seq = ++lru_counter_;
   e.data = std::make_shared<const Bytes>(std::move(data));
   bytes_ += e.data->size();
   shard.entries.emplace(addr, std::move(e));
   shard.by_lock[lock].insert(addr);
-  EvictShardLocked(shard);
+  EvictShardLocked(shard, ShardIndex(addr));
 }
 
 bool BlockCache::BeginPrefetch(uint64_t addr, LockId lock) {
@@ -336,34 +343,186 @@ Status BlockCache::FlushShardSetLocked(Shard& shard, const std::vector<uint64_t>
       it->second.dirty = false;
       it->second.pin_lsn = 0;
       dirty_bytes_ -= it->second.data->size();
+      uint64_t adv = shard.oldest_clean_seq.load(std::memory_order_relaxed);
+      if (it->second.lru_seq < adv) {
+        shard.oldest_clean_seq.store(it->second.lru_seq, std::memory_order_relaxed);
+      }
     }
   }
   // Dirty data can push the cache past its capacity (dirty entries are not
   // evictable); reclaim now that some entries are clean again.
-  EvictShardLocked(shard);
+  EvictShardLocked(shard, static_cast<size_t>(&shard - shards_.data()));
   shard.cv.notify_all();
   throttle_cv_.notify_all();
   return st;
 }
 
-Status BlockCache::FlushLock(LockId lock) {
-  Status st = OkStatus();
-  for (Shard& shard : shards_) {
+Status BlockCache::FlushLock(LockId lock, uint64_t start, uint64_t end, size_t* flushed_bytes) {
+  // Phase 1: claim the covered dirty entries of every shard. Nothing is
+  // written until the full set is claimed, so the whole revoke flush turns
+  // into one batch of coalesced write runs issued concurrently rather than
+  // a serial wave of rounds per shard.
+  struct Job {
+    uint64_t addr;
+    std::shared_ptr<const Bytes> data;
+    uint64_t gen;
+    uint64_t pin_lsn;
+  };
+  std::vector<std::vector<Job>> shard_jobs(shards_.size());
+  uint64_t max_pin = 0;
+  size_t total_jobs = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
     std::unique_lock<std::mutex> lk = LockShard(shard);
     auto it = shard.by_lock.find(lock);
     if (it == shard.by_lock.end()) {
       continue;
     }
     std::vector<uint64_t> addrs(it->second.begin(), it->second.end());
-    Status one = FlushShardSetLocked(shard, addrs, lk);
-    if (!one.ok() && st.ok()) {
-      st = one;
+    for (uint64_t addr : addrs) {
+      for (;;) {
+        auto eit = shard.entries.find(addr);
+        if (eit == shard.entries.end() || !eit->second.dirty) {
+          break;
+        }
+        const Entry& e = eit->second;
+        if (e.range_off >= end || e.range_off + e.data->size() <= start) {
+          break;  // outside the revoked extent: stays dirty and cached
+        }
+        if (e.flushing) {
+          shard.cv.wait(lk);
+          continue;  // re-find: the entry may have changed while we waited
+        }
+        eit->second.flushing = true;
+        shard_jobs[s].push_back({addr, e.data, e.dirty_gen, e.pin_lsn});
+        max_pin = std::max(max_pin, e.pin_lsn);
+        ++total_jobs;
+        break;
+      }
     }
+  }
+  if (total_jobs == 0) {
+    if (flushed_bytes != nullptr) {
+      *flushed_bytes = 0;
+    }
+    return OkStatus();
+  }
+
+  // Phase 2: one WAL flush for the whole batch (write-ahead rule), then all
+  // coalesced runs of all shards in flight on the IO pool at once.
+  Status st = OkStatus();
+  if (max_pin > 0 && wal_ != nullptr) {
+    st = wal_->FlushTo(max_pin);
+  }
+  std::vector<std::vector<Status>> shard_results(shards_.size());
+  size_t bytes_out = 0;
+  if (st.ok()) {
+    int64_t fence = lease_expiry_us_ ? lease_expiry_us_() : 0;
+    constexpr size_t kMaxRunBytes = 256 << 10;
+    struct Run {
+      size_t shard;
+      size_t first_job;
+      size_t num_jobs;
+    };
+    std::vector<Run> runs;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      std::vector<Job>& jobs = shard_jobs[s];
+      shard_results[s].assign(jobs.size(), OkStatus());
+      std::sort(jobs.begin(), jobs.end(),
+                [](const Job& a, const Job& b) { return a.addr < b.addr; });
+      for (size_t i = 0; i < jobs.size(); ++i) {
+        bytes_out += jobs[i].data->size();
+        if (!runs.empty() && runs.back().shard == s) {
+          Run& r = runs.back();
+          const Job& prev = jobs[i - 1];
+          size_t run_bytes = jobs[i].addr + jobs[i].data->size() - jobs[r.first_job].addr;
+          if (prev.addr + prev.data->size() == jobs[i].addr && run_bytes <= kMaxRunBytes) {
+            ++r.num_jobs;
+            continue;
+          }
+        }
+        runs.push_back({s, i, 1});
+      }
+    }
+    std::vector<Status> run_results(runs.size());
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    size_t done = 0;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      io_pool_->Submit([&, r] {
+        const Run& run = runs[r];
+        const std::vector<Job>& jobs = shard_jobs[run.shard];
+        if (run.num_jobs == 1) {
+          const Job& j = jobs[run.first_job];
+          run_results[r] = device_->Write(j.addr, *j.data, fence);
+        } else {
+          Bytes merged;
+          size_t total = jobs[run.first_job + run.num_jobs - 1].addr +
+                         jobs[run.first_job + run.num_jobs - 1].data->size() -
+                         jobs[run.first_job].addr;
+          merged.reserve(total);
+          for (size_t k = 0; k < run.num_jobs; ++k) {
+            const Bytes& d = *jobs[run.first_job + k].data;
+            merged.insert(merged.end(), d.begin(), d.end());
+          }
+          run_results[r] = device_->Write(jobs[run.first_job].addr, merged, fence);
+        }
+        std::lock_guard<std::mutex> guard(done_mu);
+        ++done;
+        done_cv.notify_all();
+      });
+    }
+    std::unique_lock<std::mutex> done_lk(done_mu);
+    done_cv.wait(done_lk, [&] { return done == runs.size(); });
+    for (size_t r = 0; r < runs.size(); ++r) {
+      for (size_t k = 0; k < runs[r].num_jobs; ++k) {
+        shard_results[runs[r].shard][runs[r].first_job + k] = run_results[r];
+      }
+      if (!run_results[r].ok() && st.ok()) {
+        st = run_results[r];
+      }
+    }
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shard_results[s].assign(shard_jobs[s].size(), st);
+    }
+  }
+
+  // Phase 3: release claims, mark clean.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (shard_jobs[s].empty()) {
+      continue;
+    }
+    Shard& shard = shards_[s];
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    for (size_t i = 0; i < shard_jobs[s].size(); ++i) {
+      const Job& j = shard_jobs[s][i];
+      auto it = shard.entries.find(j.addr);
+      if (it == shard.entries.end()) {
+        continue;
+      }
+      it->second.flushing = false;
+      if (st.ok() && shard_results[s][i].ok() && it->second.dirty_gen == j.gen) {
+        it->second.dirty = false;
+        it->second.pin_lsn = 0;
+        dirty_bytes_ -= it->second.data->size();
+        uint64_t adv = shard.oldest_clean_seq.load(std::memory_order_relaxed);
+        if (it->second.lru_seq < adv) {
+          shard.oldest_clean_seq.store(it->second.lru_seq, std::memory_order_relaxed);
+        }
+      }
+    }
+    EvictShardLocked(shard, s);
+    shard.cv.notify_all();
+  }
+  throttle_cv_.notify_all();
+  if (flushed_bytes != nullptr) {
+    *flushed_bytes = st.ok() ? bytes_out : 0;
   }
   return st;
 }
 
-void BlockCache::InvalidateLock(LockId lock) {
+void BlockCache::InvalidateLock(LockId lock, uint64_t start, uint64_t end) {
   {
     // Bump the epoch before sweeping so a prefetch completing mid-sweep
     // cannot repopulate a shard we already cleaned (PutPrefetched re-checks
@@ -381,9 +540,15 @@ void BlockCache::InvalidateLock(LockId lock) {
     if (it == shard.by_lock.end()) {
       continue;
     }
-    for (uint64_t addr : it->second) {
-      auto eit = shard.entries.find(addr);
+    for (auto ait = it->second.begin(); ait != it->second.end();) {
+      auto eit = shard.entries.find(*ait);
       if (eit == shard.entries.end()) {
+        ait = it->second.erase(ait);
+        continue;
+      }
+      if (eit->second.range_off >= end ||
+          eit->second.range_off + eit->second.data->size() <= start) {
+        ++ait;  // outside the dropped extent: the lock is still held there
         continue;
       }
       // Callers flush before invalidating; anything still dirty here is
@@ -394,8 +559,11 @@ void BlockCache::InvalidateLock(LockId lock) {
         dirty_bytes_ -= eit->second.data->size();
       }
       shard.entries.erase(eit);
+      ait = it->second.erase(ait);
     }
-    shard.by_lock.erase(it);
+    if (it->second.empty()) {
+      shard.by_lock.erase(it);
+    }
     shard.cv.notify_all();
   }
   throttle_cv_.notify_all();
@@ -454,6 +622,7 @@ void BlockCache::DiscardAll() {
     }
     shard.entries.clear();
     shard.by_lock.clear();
+    shard.oldest_clean_seq.store(~0ull, std::memory_order_relaxed);
     shard.cv.notify_all();
   }
   throttle_cv_.notify_all();
@@ -471,10 +640,11 @@ void BlockCache::DropClean() {
         ++it;
       }
     }
+    shard.oldest_clean_seq.store(~0ull, std::memory_order_relaxed);
   }
 }
 
-void BlockCache::EvictShardLocked(Shard& shard) {
+void BlockCache::EvictShardLocked(Shard& shard, size_t self_index) {
   if (bytes_.load() <= options_.capacity_bytes) {
     return;
   }
@@ -485,6 +655,19 @@ void BlockCache::EvictShardLocked(Shard& shard) {
     }
   }
   std::sort(clean.begin(), clean.end());
+  shard.oldest_clean_seq.store(clean.empty() ? ~0ull : clean.front().first,
+                               std::memory_order_relaxed);
+  // Global LRU: if another shard advertises a clean entry colder than our
+  // oldest victim, evicting here would sacrifice younger data just because
+  // it shares a shard with the inserter. Defer to the async sweep instead.
+  uint64_t my_oldest = clean.empty() ? ~0ull : clean.front().first;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (s != self_index &&
+        shards_[s].oldest_clean_seq.load(std::memory_order_relaxed) < my_oldest) {
+      ScheduleGlobalSweep();
+      return;
+    }
+  }
   for (const auto& [lru, addr] : clean) {
     if (bytes_.load() <= options_.capacity_bytes) {
       break;
@@ -493,6 +676,92 @@ void BlockCache::EvictShardLocked(Shard& shard) {
     bytes_ -= it->second.data->size();
     shard.by_lock[it->second.lock].erase(addr);
     shard.entries.erase(it);
+  }
+  // Re-advertise the new local minimum for future global comparisons.
+  uint64_t min_seq = ~0ull;
+  for (const auto& [addr, e] : shard.entries) {
+    if (!e.dirty && !e.flushing) {
+      min_seq = std::min(min_seq, e.lru_seq);
+    }
+  }
+  shard.oldest_clean_seq.store(min_seq, std::memory_order_relaxed);
+}
+
+void BlockCache::ScheduleGlobalSweep() {
+  if (sweep_scheduled_.exchange(true)) {
+    return;  // a sweep is already queued or running
+  }
+  io_pool_->Submit([this] { SweepGlobalLru(); });
+}
+
+void BlockCache::SweepGlobalLru() {
+  sweep_scheduled_.store(false);
+  bool recomputed = false;
+  while (bytes_.load() > options_.capacity_bytes) {
+    // Pick the shard advertising the globally-coldest clean entry.
+    size_t best = shards_.size();
+    uint64_t best_seq = ~0ull;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      uint64_t seq = shards_[s].oldest_clean_seq.load(std::memory_order_relaxed);
+      if (seq < best_seq) {
+        best_seq = seq;
+        best = s;
+      }
+    }
+    if (best == shards_.size()) {
+      // No shard advertises clean entries. Advertisements are approximate,
+      // so recompute them once; if there is still nothing, everything is
+      // dirty or in flight and the sweep cannot help.
+      if (recomputed) {
+        return;
+      }
+      recomputed = true;
+      for (Shard& shard : shards_) {
+        std::unique_lock<std::mutex> lk = LockShard(shard);
+        uint64_t min_seq = ~0ull;
+        for (const auto& [addr, e] : shard.entries) {
+          if (!e.dirty && !e.flushing) {
+            min_seq = std::min(min_seq, e.lru_seq);
+          }
+        }
+        shard.oldest_clean_seq.store(min_seq, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    Shard& shard = shards_[best];
+    std::unique_lock<std::mutex> lk = LockShard(shard);
+    std::vector<std::pair<uint64_t, uint64_t>> clean;
+    for (const auto& [addr, e] : shard.entries) {
+      if (!e.dirty && !e.flushing) {
+        clean.emplace_back(e.lru_seq, addr);
+      }
+    }
+    if (clean.empty()) {
+      shard.oldest_clean_seq.store(~0ull, std::memory_order_relaxed);
+      continue;
+    }
+    std::sort(clean.begin(), clean.end());
+    uint64_t evicted = 0;
+    for (const auto& [lru, addr] : clean) {
+      if (bytes_.load() <= options_.capacity_bytes) {
+        break;
+      }
+      auto it = shard.entries.find(addr);
+      bytes_ -= it->second.data->size();
+      shard.by_lock[it->second.lock].erase(addr);
+      shard.entries.erase(it);
+      ++evicted;
+    }
+    uint64_t min_seq = ~0ull;
+    for (const auto& [addr, e] : shard.entries) {
+      if (!e.dirty && !e.flushing) {
+        min_seq = std::min(min_seq, e.lru_seq);
+      }
+    }
+    shard.oldest_clean_seq.store(min_seq, std::memory_order_relaxed);
+    if (evicted > 0) {
+      m_cross_shard_evictions_->Increment(evicted);
+    }
   }
 }
 

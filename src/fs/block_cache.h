@@ -59,16 +59,21 @@ class BlockCache {
 
   // Read-through: returns a copy of the block at `addr` (exactly `size`
   // bytes), caching it under `lock`. The caller must hold `lock`.
-  StatusOr<Bytes> Read(uint64_t addr, uint32_t size, LockId lock);
+  // `range_off` is the entry's offset in the lock's byte-range name space
+  // (the file offset for data locks, 0 for metadata locks): the ranged
+  // FlushLock/InvalidateLock variants select entries by it.
+  StatusOr<Bytes> Read(uint64_t addr, uint32_t size, LockId lock, uint64_t range_off = 0);
 
   // Installs new (dirty) content. pin_lsn = 0 for user data (not logged),
   // else the lsn of the log record describing this update. May block when
   // dirty data exceeds the high-water mark (write throttling).
-  Status PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn);
+  Status PutDirty(uint64_t addr, Bytes data, LockId lock, uint64_t pin_lsn,
+                  uint64_t range_off = 0);
 
   // Inserts clean data (prefetch). Dropped if the lock's epoch changed since
   // `epoch` was sampled or the entry is already present.
-  void PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch);
+  void PutPrefetched(uint64_t addr, Bytes data, LockId lock, uint64_t epoch,
+                     uint64_t range_off = 0);
   uint64_t LockEpoch(LockId lock) const;
 
   // Prefetch coordination: a reader that misses on a block that is being
@@ -82,11 +87,19 @@ class BlockCache {
 
   bool Cached(uint64_t addr) const;
 
-  // Flushes dirty blocks covered by `lock` (WAL first); entries stay cached.
-  Status FlushLock(LockId lock);
-  // Drops every entry covered by `lock` (after FlushLock if dirty data must
-  // survive). Bumps the lock epoch.
-  void InvalidateLock(LockId lock);
+  // Flushes dirty blocks covered by `lock` whose range_off extent overlaps
+  // [start, end) (WAL first); entries stay cached. Dirty blocks of the same
+  // lock outside the range are untouched — a partial revoke writes only the
+  // revoked extent. Blocks are claimed across all shards up front, so the
+  // whole revoke flush is one batch of coalesced Petal write runs issued
+  // concurrently, not one round-trip wave per shard. If `flushed_bytes` is
+  // non-null it receives the number of payload bytes written.
+  Status FlushLock(LockId lock, uint64_t start = 0, uint64_t end = kRangeEnd,
+                   size_t* flushed_bytes = nullptr);
+  // Drops every entry covered by `lock` overlapping [start, end) (after
+  // FlushLock if dirty data must survive). Bumps the lock epoch (whole-lock:
+  // in-flight prefetches anywhere under the lock are conservatively wasted).
+  void InvalidateLock(LockId lock, uint64_t start = 0, uint64_t end = kRangeEnd);
 
   Status FlushAll();
   // Flushes all metadata blocks pinned by log records with lsn <= bound
@@ -109,6 +122,7 @@ class BlockCache {
   struct Entry {
     std::shared_ptr<const Bytes> data;
     LockId lock = 0;
+    uint64_t range_off = 0;  // offset in the lock's byte-range name space
     bool dirty = false;
     bool flushing = false;
     uint64_t dirty_gen = 0;  // bumped on each PutDirty; detects overlap
@@ -123,6 +137,10 @@ class BlockCache {
     std::map<LockId, std::set<uint64_t>> by_lock;
     std::set<uint64_t> prefetch_inflight;
     std::map<LockId, int> prefetch_by_lock;
+    // Advertised lru_seq of this shard's oldest clean entry (approximate;
+    // UINT64_MAX = none known). Lets EvictShardLocked notice that a colder
+    // victim lives in another shard and defer to the global LRU sweep.
+    std::atomic<uint64_t> oldest_clean_seq{~0ull};
   };
 
   // Shard by 256 KB region so the ≤256 KB coalesced flush runs (see
@@ -142,8 +160,14 @@ class BlockCache {
   Status FlushShardSetLocked(Shard& shard, const std::vector<uint64_t>& addrs,
                              std::unique_lock<std::mutex>& lk);
   // Evicts clean LRU entries from `shard` while the cache as a whole is over
-  // capacity. Caller holds `shard.mu`.
-  void EvictShardLocked(Shard& shard);
+  // capacity. Caller holds `shard.mu`. When another shard advertises a
+  // colder clean entry, eviction is deferred to an async global-LRU sweep
+  // instead of sacrificing this shard's younger entries (global LRU, lazily).
+  void EvictShardLocked(Shard& shard, size_t self_index);
+  void ScheduleGlobalSweep();
+  // Runs on the IO pool: evicts the globally-coldest clean entries, one
+  // shard at a time, until the cache fits.
+  void SweepGlobalLru();
 
   BlockDevice* device_;
   LogWriter* wal_;
@@ -170,7 +194,10 @@ class BlockCache {
   // Registry aggregates (process-wide, across all fs instances).
   obs::Counter* m_hits_;
   obs::Counter* m_misses_;
+  obs::Counter* m_cross_shard_evictions_;
   Histogram* m_shard_wait_us_;
+
+  std::atomic<bool> sweep_scheduled_{false};
 
   std::unique_ptr<ThreadPool> io_pool_;
 };

@@ -158,6 +158,8 @@ FrangipaniFs::FrangipaniFs(BlockDevice* device, LockProvider* locks, Clock* cloc
       options_(options),
       op_metrics_(obs::MetricsRegistry::Default()) {
   readahead_on_.store(options_.readahead_enabled);
+  m_revoke_flush_bytes_ =
+      obs::MetricsRegistry::Default()->GetCounter("lock.revoke_flush_bytes");
 }
 
 FrangipaniFs::~FrangipaniFs() {
@@ -303,30 +305,43 @@ void FrangipaniFs::SetReadahead(bool enabled) { readahead_on_.store(enabled); }
 Status FrangipaniFs::WithLocks(std::vector<PlannedLock> locks,
                                const std::function<Status()>& fn) {
   // §5: sort by lock id (the paper sorts by inode address) and acquire in
-  // order; a mode conflict on a duplicate keeps the stronger mode.
-  std::map<LockId, LockMode> plan;
+  // order. Duplicates merge into one acquisition: the stronger mode and the
+  // union hull of the byte ranges, so each LockId is requested exactly once
+  // (a second ranged request against the same lock could deadlock with a
+  // concurrent holder between the two ranges).
+  struct Want {
+    LockMode mode = LockMode::kNone;
+    LockRange range{};
+    bool seen = false;
+  };
+  std::map<LockId, Want> plan;
   for (const PlannedLock& l : locks) {
-    LockMode& m = plan[l.id];
-    if (l.mode == LockMode::kExclusive || m == LockMode::kNone) {
-      m = l.mode == LockMode::kExclusive ? LockMode::kExclusive
-                                         : (m == LockMode::kExclusive ? m : l.mode);
+    Want& w = plan[l.id];
+    if (!w.seen) {
+      w.mode = l.mode;
+      w.range = l.range;
+      w.seen = true;
+    } else {
+      w.mode = std::max(w.mode, l.mode);
+      w.range.start = std::min(w.range.start, l.range.start);
+      w.range.end = std::max(w.range.end, l.range.end);
     }
   }
-  std::vector<LockId> held;
+  std::vector<std::pair<LockId, LockRange>> held;
   held.reserve(plan.size());
   Status st = OkStatus();
-  for (const auto& [id, mode] : plan) {
-    st = locks_->Acquire(id, mode);
+  for (const auto& [id, want] : plan) {
+    st = locks_->Acquire(id, want.mode, want.range);
     if (!st.ok()) {
       break;
     }
-    held.push_back(id);
+    held.emplace_back(id, want.range);
   }
   if (st.ok()) {
     st = fn();
   }
   for (auto it = held.rbegin(); it != held.rend(); ++it) {
-    locks_->Release(*it);
+    locks_->Release(it->first, it->second);
   }
   return st;
 }

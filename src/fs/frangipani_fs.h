@@ -117,7 +117,7 @@ class FrangipaniFs {
 
   // ---- recovery & coherence hooks (wired to the clerk) ----
   Status RecoverSlot(uint32_t dead_slot);
-  void OnLockRevoked(LockId lock, LockMode new_mode);
+  void OnLockRevoked(LockId lock, LockMode new_mode, LockRange range = LockRange{});
   void OnLeaseLost();
 
   bool poisoned() const { return poisoned_.load(); }
@@ -167,6 +167,7 @@ class FrangipaniFs {
   struct PlannedLock {
     LockId id;
     LockMode mode;
+    LockRange range{};  // byte extent; full for metadata locks
   };
   // Acquires the locks in sorted order, runs fn, releases. fn returning
   // kAborted triggers the caller's retry loop.
@@ -200,6 +201,14 @@ class FrangipaniFs {
     uint32_t len = 0;        // bytes of the request inside this unit
   };
   BlockRef MapOffset(const Inode& inode, uint64_t off, uint64_t len) const;
+
+  // Stages `data` at file offset `offset` into the cache under the inode's
+  // data lock (caller holds it exclusively over the written extent, and the
+  // range must be fully allocated and within node.size unless the caller
+  // just extended/allocated it). Entries carry range_off = file offset of
+  // the cache unit, so ranged flush/invalidate can select them.
+  Status StageData(const Inode& node, uint64_t ino, uint64_t offset, const Bytes& data,
+                   const std::vector<uint64_t>& fresh_units = {});
 
   // Allocation (caller holds the segment's lock exclusively).
   StatusOr<uint64_t> AllocFromSegment(MetaTxn& txn, uint32_t seg, int what, bool for_metadata);
@@ -246,6 +255,11 @@ class FrangipaniFs {
 
   std::mutex atime_mu_;
   std::map<uint64_t, int64_t> atime_overlay_;  // §2.1: approximate atime
+  // mtime of extent-locked overwrites, kept the same way: the fast write
+  // path holds only a shared inode lock (writers to disjoint ranges must
+  // not contend on the inode record), so mtime is updated in memory and
+  // folded into the inode on the next exclusive metadata update.
+  std::map<uint64_t, int64_t> mtime_overlay_;
 
   // Per-instance op counts, lock-free (cache hits/misses live in the cache).
   // The cross-instance aggregate view lives in the obs metrics registry.
@@ -267,6 +281,9 @@ class FrangipaniFs {
     explicit OpMetricsTable(obs::MetricsRegistry* r);
   };
   OpMetricsTable op_metrics_;
+  // Payload bytes written by revoke-driven flushes (coherence cost of
+  // write sharing; should stay near zero for disjoint-extent writers).
+  obs::Counter* m_revoke_flush_bytes_;
 };
 
 // Parses a path into components; rejects empty names and names over the

@@ -13,11 +13,71 @@ namespace {
 constexpr int kMaxOpRetries = 64;
 constexpr int kAllocKindSmall = 1;
 constexpr int kAllocKindLarge = 2;
+
+// Data-lock extents must be aligned to cache-unit boundaries (4 KB blocks in
+// the small region, 64 KB chunks in the large region): the cache holds and
+// flushes whole units, so a lock boundary inside a unit would let two
+// writers cache the same unit dirty and clobber each other's bytes. With
+// every requested extent on this lattice, a unit is always entirely inside
+// or entirely outside any granted/revoked range.
+LockRange UnitAlignedRange(uint64_t start, uint64_t end) {
+  uint64_t s = start < kSmallBytesPerFile
+                   ? start / kBlockSize * kBlockSize
+                   : kSmallBytesPerFile +
+                         (start - kSmallBytesPerFile) / kChunkSize * kChunkSize;
+  uint64_t e = end <= kSmallBytesPerFile
+                   ? (end + kBlockSize - 1) / kBlockSize * kBlockSize
+                   : kSmallBytesPerFile + (end - kSmallBytesPerFile + kChunkSize - 1) /
+                                              kChunkSize * kChunkSize;
+  return {s, e};
+}
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Write
 // ---------------------------------------------------------------------------
+
+// Stages `data` into the cache under the inode's *data* lock (user data is
+// not logged). Cache entries carry range_off = the unit's file offset, which
+// is what the ranged FlushLock/InvalidateLock variants select by.
+Status FrangipaniFs::StageData(const Inode& node, uint64_t ino, uint64_t offset,
+                               const Bytes& data, const std::vector<uint64_t>& fresh_units) {
+  LockId dlock = InodeDataLockId(ino);
+  uint64_t pos = offset;
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    BlockRef ref = MapOffset(node, pos, data.size() - consumed);
+    FGP_CHECK(ref.addr != 0) << "unallocated block in write path";
+    uint64_t unit_off = pos - ref.off_in_unit;  // file offset of the unit base
+    Bytes unit;
+    bool whole = ref.off_in_unit == 0 && ref.len == ref.unit;
+    bool fresh =
+        std::find(fresh_units.begin(), fresh_units.end(), ref.addr) != fresh_units.end();
+    if (whole) {
+      unit.assign(data.begin() + consumed, data.begin() + consumed + ref.len);
+    } else if (fresh || ref.addr >= geometry_.large_base) {
+      // Fresh small block, or large-region unit: blocks in the large
+      // region are private to this file and start zeroed; only pull
+      // existing bytes when overwriting previously written data.
+      bool prior_data =
+          !fresh && pos < ((node.size + ref.unit - 1) / ref.unit) * ref.unit &&
+          pos < node.size + ref.unit;
+      if (!fresh && prior_data) {
+        ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, dlock, unit_off));
+      } else {
+        unit.assign(ref.unit, 0);
+      }
+      std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
+    } else {
+      ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, dlock, unit_off));
+      std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
+    }
+    RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), dlock, 0, unit_off));
+    pos += ref.len;
+    consumed += ref.len;
+  }
+  return OkStatus();
+}
 
 Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
   obs::OpTrace trace(&op_metrics_.write, options_.node_id);
@@ -33,6 +93,59 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
     return OutOfRange("file would exceed the maximum file size (16 small blocks + 1 large "
                       "block, §3)");
   }
+
+  // Fast path (the Lustre-style extent case): a pure overwrite of already
+  // allocated bytes needs no metadata update, so it runs under a *shared*
+  // inode lock plus an *exclusive* data lock on just the written extent.
+  // Writers to disjoint ranges of one file proceed in parallel on different
+  // nodes; only the byte ranges actually written move between caches.
+  {
+    bool needs_meta = false;
+    Status st = WithLocks(
+        {{InodeLockId(ino), LockMode::kShared},
+         {InodeDataLockId(ino), LockMode::kExclusive, UnitAlignedRange(offset, end)}},
+        [&]() -> Status {
+          ASSIGN_OR_RETURN(Inode node, ReadInode(ino));
+          if (node.type != FileType::kRegular) {
+            return InvalidArgument("not a regular file");
+          }
+          if (end > node.size) {
+            needs_meta = true;  // size extension: inode must change
+            return Aborted("write extends file");
+          }
+          for (uint64_t pos = offset; pos < end;) {
+            BlockRef ref = MapOffset(node, pos, end - pos);
+            if (ref.addr == 0) {
+              needs_meta = true;  // hole: needs allocation
+              return Aborted("write fills a hole");
+            }
+            pos += ref.len;
+          }
+          RETURN_IF_ERROR(StageData(node, ino, offset, data));
+          {
+            // Like atime (§2.1), mtime of an extent write is kept loosely:
+            // the fast path holds no exclusive inode lock, so it is folded
+            // into the inode on the next exclusive metadata update.
+            std::lock_guard<std::mutex> guard(atime_mu_);
+            mtime_overlay_[ino] = NowUs();
+          }
+          return OkStatus();
+        });
+    if (st.ok()) {
+      stats_.operations.fetch_add(1, std::memory_order_relaxed);
+      return OkStatus();
+    }
+    if (st.code() != StatusCode::kAborted) {
+      return st;
+    }
+    if (!needs_meta) {
+      NoteRetry();  // conflict-style abort; fall through to the full path
+    }
+  }
+
+  // Slow path: allocation and/or size extension — a metadata transaction
+  // under the exclusive inode lock, plus the whole-file data lock so the
+  // staged bytes are coherent with extent-locked writers elsewhere.
   for (int attempt = 0; attempt < kMaxOpRetries; ++attempt) {
     uint32_t alloc_seg;
     {
@@ -43,7 +156,8 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
     Status st = WithLocks(
         {{kLockBarrier, LockMode::kShared},
          {SegmentLockId(alloc_seg), LockMode::kExclusive},
-         {InodeLockId(ino), LockMode::kExclusive}},
+         {InodeLockId(ino), LockMode::kExclusive},
+         {InodeDataLockId(ino), LockMode::kExclusive}},
         [&]() -> Status {
           MetaTxn txn(this);
           Bytes* ino_raw = nullptr;
@@ -78,45 +192,18 @@ Status FrangipaniFs::Write(uint64_t ino, uint64_t offset, const Bytes& data) {
             node.large = *l;
           }
 
-          // Stage the data into the cache (user data: not logged).
-          LockId lock = InodeLockId(ino);
-          uint64_t pos = offset;
-          size_t consumed = 0;
-          while (consumed < data.size()) {
-            BlockRef ref = MapOffset(node, pos, data.size() - consumed);
-            FGP_CHECK(ref.addr != 0) << "unallocated block in write path";
-            Bytes unit;
-            bool whole = ref.off_in_unit == 0 && ref.len == ref.unit;
-            bool fresh = std::find(fresh_units.begin(), fresh_units.end(), ref.addr) !=
-                         fresh_units.end();
-            if (whole) {
-              unit.assign(data.begin() + consumed, data.begin() + consumed + ref.len);
-            } else if (fresh || ref.addr >= geometry_.large_base) {
-              // Fresh small block, or large-region unit: blocks in the large
-              // region are private to this file and start zeroed; only pull
-              // existing bytes when overwriting previously written data.
-              bool prior_data =
-                  !fresh && pos < ((node.size + ref.unit - 1) / ref.unit) * ref.unit &&
-                  pos < node.size + ref.unit;
-              if (!fresh && prior_data) {
-                ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, lock));
-              } else {
-                unit.assign(ref.unit, 0);
-              }
-              std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
-            } else {
-              ASSIGN_OR_RETURN(unit, cache_->Read(ref.addr, ref.unit, lock));
-              std::memcpy(unit.data() + ref.off_in_unit, data.data() + consumed, ref.len);
-            }
-            RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), lock, 0));
-            pos += ref.len;
-            consumed += ref.len;
-          }
+          RETURN_IF_ERROR(StageData(node, ino, offset, data, fresh_units));
 
           node.size = std::max(node.size, end);
           node.mtime_us = NowUs();
           WriteInodeIn(txn, ino, ino_raw, node);
-          return txn.Commit();
+          RETURN_IF_ERROR(txn.Commit());
+          {
+            // The durable mtime is now current; drop any older overlay.
+            std::lock_guard<std::mutex> guard(atime_mu_);
+            mtime_overlay_.erase(ino);
+          }
+          return OkStatus();
         });
     if (st.code() == StatusCode::kAborted) {
       if (segment_full) {
@@ -143,8 +230,16 @@ StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length
   obs::OpTrace trace(&op_metrics_.read, options_.node_id);
   RETURN_IF_ERROR(CheckUsable());
   out->clear();
+  if (length == 0) {
+    return 0;
+  }
   Inode snapshot;
-  Status st = WithLocks({{InodeLockId(ino), LockMode::kShared}}, [&]() -> Status {
+  // The inode lock (shared) covers the metadata; the data lock covers only
+  // the read extent, so readers do not stall writers of other extents.
+  Status st = WithLocks(
+      {{InodeLockId(ino), LockMode::kShared},
+       {InodeDataLockId(ino), LockMode::kShared, UnitAlignedRange(offset, offset + length)}},
+      [&]() -> Status {
     ASSIGN_OR_RETURN(Inode node, ReadInode(ino));
     if (node.type != FileType::kRegular) {
       return InvalidArgument("not a regular file");
@@ -153,14 +248,15 @@ StatusOr<size_t> FrangipaniFs::Read(uint64_t ino, uint64_t offset, size_t length
       return OkStatus();
     }
     uint64_t end = std::min<uint64_t>(node.size, offset + length);
-    LockId lock = InodeLockId(ino);
+    LockId dlock = InodeDataLockId(ino);
     uint64_t pos = offset;
     while (pos < end) {
       BlockRef ref = MapOffset(node, pos, end - pos);
       if (ref.addr == 0) {
         out->insert(out->end(), ref.len, 0);  // hole
       } else {
-        ASSIGN_OR_RETURN(Bytes unit, cache_->Read(ref.addr, ref.unit, lock));
+        ASSIGN_OR_RETURN(Bytes unit,
+                         cache_->Read(ref.addr, ref.unit, dlock, pos - ref.off_in_unit));
         out->insert(out->end(), unit.begin() + ref.off_in_unit,
                     unit.begin() + ref.off_in_unit + ref.len);
       }
@@ -200,13 +296,20 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
   if (!sequential) {
     return;
   }
-  LockId lock = InodeLockId(ino);
+  LockId lock = InodeDataLockId(ino);
   uint64_t pos = read_end;
   for (uint32_t i = 0; i < options_.readahead_units && pos < inode.size; ++i) {
     BlockRef ref = MapOffset(inode, pos, inode.size - pos);
-    pos = pos - ref.off_in_unit + ref.unit;  // next unit boundary
+    uint64_t unit_off = pos - ref.off_in_unit;  // file offset of the unit base
+    pos = unit_off + ref.unit;                  // next unit boundary
     if (ref.addr == 0) {
       continue;
+    }
+    // Only prefetch units the clerk's cached extents already cover: issuing
+    // a lock request from read-ahead would stall writers of that extent for
+    // speculative work.
+    if (!locks_->CachedCovers(lock, unit_off, unit_off + ref.unit, LockMode::kShared)) {
+      break;
     }
     uint64_t unit_addr = ref.addr;  // MapOffset returns the unit base
     uint32_t unit = ref.unit;
@@ -218,7 +321,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
     // Prefetches inherit the reading op's trace id so the recorder shows
     // them as children of the read that triggered them.
     uint64_t trace_id = obs::CurrentTraceId();
-    prefetch_pool_->Submit([this, unit_addr, unit, lock, epoch, trace_id] {
+    prefetch_pool_->Submit([this, unit_addr, unit, unit_off, lock, epoch, trace_id] {
       obs::InheritedTraceScope inherit(trace_id);
       Bytes data;
       if (!device_->Read(unit_addr, unit, &data).ok()) {
@@ -231,7 +334,7 @@ void FrangipaniFs::MaybePrefetch(uint64_t ino, const Inode& inode, uint64_t read
         stats_.prefetch_wasted.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      cache_->PutPrefetched(unit_addr, std::move(data), lock, epoch);
+      cache_->PutPrefetched(unit_addr, std::move(data), lock, epoch, unit_off);
       cache_->EndPrefetch(unit_addr, lock);
     });
   }
@@ -284,7 +387,8 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
     RETURN_IF_ERROR(st);
 
     std::vector<PlannedLock> plan = {{kLockBarrier, LockMode::kShared},
-                                     {InodeLockId(ino), LockMode::kExclusive}};
+                                     {InodeLockId(ino), LockMode::kExclusive},
+                                     {InodeDataLockId(ino), LockMode::kExclusive}};
     for (uint32_t seg : segs) {
       plan.push_back({SegmentLockId(seg), LockMode::kExclusive});
     }
@@ -321,9 +425,12 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
       WriteInodeIn(txn, ino, ino_raw, node);
       RETURN_IF_ERROR(txn.Commit());
       if (shrinks) {
-        // Freed blocks may be reallocated under other locks; drop our copies.
+        // Freed blocks may be reallocated under other locks; drop our copies
+        // (both the metadata entries and the file-content entries).
         RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(ino)));
         cache_->InvalidateLock(InodeLockId(ino));
+        RETURN_IF_ERROR(cache_->FlushLock(InodeDataLockId(ino)));
+        cache_->InvalidateLock(InodeDataLockId(ino));
         // Zero the stale tail of the kept partial block so that a later
         // size extension reads zeros, not resurrected old data.
         if (new_size > 0) {
@@ -331,10 +438,11 @@ Status FrangipaniFs::Truncate(uint64_t ino, uint64_t new_size) {
           if (ref.addr != 0 && ref.off_in_unit != 0) {
             uint32_t zero_to = static_cast<uint32_t>(std::min<uint64_t>(
                 ref.unit, old_size - (new_size - ref.off_in_unit)));
-            ASSIGN_OR_RETURN(Bytes unit,
-                             cache_->Read(ref.addr, ref.unit, InodeLockId(ino)));
+            LockId dlock = InodeDataLockId(ino);
+            uint64_t unit_off = new_size - ref.off_in_unit;
+            ASSIGN_OR_RETURN(Bytes unit, cache_->Read(ref.addr, ref.unit, dlock, unit_off));
             std::fill(unit.begin() + ref.off_in_unit, unit.begin() + zero_to, 0);
-            RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), InodeLockId(ino), 0));
+            RETURN_IF_ERROR(cache_->PutDirty(ref.addr, std::move(unit), dlock, 0, unit_off));
           }
         }
         // A kept large block may still have committed chunks past the new
@@ -378,6 +486,7 @@ Status FrangipaniFs::Fsync(uint64_t ino) {
   // file's dirty blocks.
   RETURN_IF_ERROR(wal_->FlushAll());
   RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(ino)));
+  RETURN_IF_ERROR(cache_->FlushLock(InodeDataLockId(ino)));
   stats_.operations.fetch_add(1, std::memory_order_relaxed);
   return OkStatus();
 }
@@ -422,7 +531,7 @@ Status FrangipaniFs::RecoverSlot(uint32_t dead_slot) {
   return OkStatus();
 }
 
-void FrangipaniFs::OnLockRevoked(LockId lock, LockMode new_mode) {
+void FrangipaniFs::OnLockRevoked(LockId lock, LockMode new_mode, LockRange range) {
   if (!mounted_) {
     return;
   }
@@ -432,18 +541,30 @@ void FrangipaniFs::OnLockRevoked(LockId lock, LockMode new_mode) {
     return;
   }
   // §5: write dirty data covered by the lock before it changes hands;
-  // invalidate on full release, keep cached data on downgrade.
-  obs::SpanScope span(obs::Layer::kFs, "fs.revoke_flush", options_.node_id, "lock", lock,
-                      "new_mode", static_cast<uint64_t>(new_mode));
-  Status st = cache_->FlushLock(lock);
+  // invalidate on full release, keep cached data on downgrade. A partial
+  // (byte-range) revoke touches only the blocks inside the revoked extent —
+  // the rest of the file stays cached and dirty.
+  obs::SpanScope span(obs::Layer::kFs,
+                      range.full() ? "fs.revoke_flush" : "fs.range_revoke_flush",
+                      options_.node_id, "lock", lock, "new_mode",
+                      static_cast<uint64_t>(new_mode));
+  size_t flushed = 0;
+  Status st = cache_->FlushLock(lock, range.start, range.end, &flushed);
   if (!st.ok()) {
     FLOG(WARN) << "fs: flush on revoke failed for lock " << lock << ": " << st;
   }
+  span.arg1("flushed_bytes", flushed);
+  if (flushed > 0 && m_revoke_flush_bytes_ != nullptr) {
+    m_revoke_flush_bytes_->Increment(flushed);
+  }
   if (new_mode == LockMode::kNone) {
-    cache_->InvalidateLock(lock);
+    cache_->InvalidateLock(lock, range.start, range.end);
     if (IsInodeLock(lock)) {
       std::lock_guard<std::mutex> guard(ra_mu_);
       ra_last_end_.erase(InodeOfLock(lock));
+    } else if (IsInodeDataLock(lock)) {
+      std::lock_guard<std::mutex> guard(ra_mu_);
+      ra_last_end_.erase(InodeOfDataLock(lock));
     }
   }
 }

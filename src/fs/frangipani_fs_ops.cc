@@ -347,7 +347,8 @@ Status FrangipaniFs::RemoveCommon(const std::string& path, bool dir_expected) {
 
     std::vector<PlannedLock> plan = {{kLockBarrier, LockMode::kShared},
                                      {InodeLockId(t.parent), LockMode::kExclusive},
-                                     {InodeLockId(t.ino), LockMode::kExclusive}};
+                                     {InodeLockId(t.ino), LockMode::kExclusive},
+                                     {InodeDataLockId(t.ino), LockMode::kExclusive}};
     for (uint32_t seg : segs) {
       plan.push_back({SegmentLockId(seg), LockMode::kExclusive});
     }
@@ -398,8 +399,10 @@ Status FrangipaniFs::RemoveCommon(const std::string& path, bool dir_expected) {
       if (freed) {
         // Freed blocks can be reallocated by other servers under other
         // locks; purge our copies now (flushing the inode image first).
+        // The file's content dies with it: drop, don't flush, data entries.
         RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(t.ino)));
         cache_->InvalidateLock(InodeLockId(t.ino));
+        cache_->InvalidateLock(InodeDataLockId(t.ino));
       }
       return OkStatus();
     });
@@ -410,8 +413,13 @@ Status FrangipaniFs::RemoveCommon(const std::string& path, bool dir_expected) {
     RETURN_IF_ERROR(st);
     if (freed) {
       (void)DecommitFileData(freed_inode);
-      std::lock_guard<std::mutex> guard(ra_mu_);
-      ra_last_end_.erase(t.ino);
+      {
+        std::lock_guard<std::mutex> guard(ra_mu_);
+        ra_last_end_.erase(t.ino);
+      }
+      std::lock_guard<std::mutex> guard(atime_mu_);
+      atime_overlay_.erase(t.ino);
+      mtime_overlay_.erase(t.ino);
     }
     stats_.operations.fetch_add(1, std::memory_order_relaxed);
     return OkStatus();
@@ -477,6 +485,7 @@ Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
                                      {InodeLockId(dst.parent), LockMode::kExclusive}};
     if (dst.ino != 0) {
       plan.push_back({InodeLockId(dst.ino), LockMode::kExclusive});
+      plan.push_back({InodeDataLockId(dst.ino), LockMode::kExclusive});
       for (uint32_t seg : dst_segs) {
         plan.push_back({SegmentLockId(seg), LockMode::kExclusive});
       }
@@ -556,6 +565,7 @@ Status FrangipaniFs::Rename(const std::string& from, const std::string& to) {
       if (replaced) {
         RETURN_IF_ERROR(cache_->FlushLock(InodeLockId(dst.ino)));
         cache_->InvalidateLock(InodeLockId(dst.ino));
+        cache_->InvalidateLock(InodeDataLockId(dst.ino));
       }
       return OkStatus();
     });
@@ -608,6 +618,11 @@ StatusOr<FileAttr> FrangipaniFs::StatIno(uint64_t ino) {
     auto it = atime_overlay_.find(ino);
     if (it != atime_overlay_.end()) {
       attr.atime_us = std::max(attr.atime_us, it->second);
+    }
+    // Extent-locked overwrites update mtime the same loose way (§2.1).
+    auto mt = mtime_overlay_.find(ino);
+    if (mt != mtime_overlay_.end()) {
+      attr.mtime_us = std::max(attr.mtime_us, mt->second);
     }
   }
   return attr;

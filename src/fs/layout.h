@@ -82,12 +82,19 @@ inline constexpr LockId kLockBarrier = 1;
 inline constexpr LockId kLockBaseLog = 0x100;
 inline constexpr LockId kLockBaseSegment = 0x10000;
 inline constexpr LockId kLockBaseInode = 1ull << 32;
+// Regular-file *content* is guarded by a separate data lock per inode whose
+// byte ranges are file offsets (extent locking); the inode lock keeps
+// guarding the inode record and directory blocks with whole-lock semantics.
+inline constexpr LockId kLockBaseInodeData = 1ull << 40;
 
 inline LockId LogLockId(uint32_t slot) { return kLockBaseLog + slot; }
 inline LockId SegmentLockId(uint32_t seg) { return kLockBaseSegment + seg; }
 inline LockId InodeLockId(uint64_t ino) { return kLockBaseInode + ino; }
-inline bool IsInodeLock(LockId id) { return id >= kLockBaseInode; }
+inline LockId InodeDataLockId(uint64_t ino) { return kLockBaseInodeData + ino; }
+inline bool IsInodeLock(LockId id) { return id >= kLockBaseInode && id < kLockBaseInodeData; }
+inline bool IsInodeDataLock(LockId id) { return id >= kLockBaseInodeData; }
 inline uint64_t InodeOfLock(LockId id) { return id - kLockBaseInode; }
+inline uint64_t InodeOfDataLock(LockId id) { return id - kLockBaseInodeData; }
 inline bool IsSegmentLock(LockId id) { return id >= kLockBaseSegment && id < kLockBaseInode; }
 inline uint32_t SegmentOfLock(LockId id) { return static_cast<uint32_t>(id - kLockBaseSegment); }
 

@@ -7,7 +7,8 @@ namespace frangipani {
 // A lock is either write-held (one holder) or read-held (many); Release
 // infers which side to drop from the entry state, which is unambiguous
 // because the two are mutually exclusive.
-Status LocalLocks::Acquire(LockId lock, LockMode mode) {
+Status LocalLocks::Acquire(LockId lock, LockMode mode, LockRange range) {
+  (void)range;  // whole-lock: disjoint-range writers serialize, which is safe
   obs::LayerTimer timer(obs::Layer::kLock);
   std::unique_lock<std::mutex> lk(mu_);
   if (mode == LockMode::kExclusive) {
@@ -23,7 +24,8 @@ Status LocalLocks::Acquire(LockId lock, LockMode mode) {
   return OkStatus();
 }
 
-void LocalLocks::Release(LockId lock) {
+void LocalLocks::Release(LockId lock, LockRange range) {
+  (void)range;
   {
     std::lock_guard<std::mutex> guard(mu_);
     Entry& e = locks_[lock];

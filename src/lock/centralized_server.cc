@@ -96,6 +96,7 @@ StatusOr<Bytes> CentralizedLockServer::DoRequest(Decoder& dec) {
   uint32_t slot = dec.GetU32();
   LockId lock = dec.GetU64();
   LockMode mode = static_cast<LockMode>(dec.GetU8());
+  LockRange range{dec.GetU64(), dec.GetU64()};
   if (!dec.ok()) {
     return InvalidArgument("bad request");
   }
@@ -104,28 +105,36 @@ StatusOr<Bytes> CentralizedLockServer::DoRequest(Decoder& dec) {
   }
   obs::SpanScope span(obs::Layer::kLock, "lockd.request", self_, "lock", lock, "mode",
                       static_cast<uint64_t>(mode));
+  LockRange granted;
   RETURN_IF_ERROR(core_.Request(
-      slot, lock, mode,
-      [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
-      [this](uint32_t holder) { HandleDeadHolder(holder); }));
+      slot, lock, mode, range,
+      [this](uint32_t holder, LockId l, LockMode m, LockRange r) {
+        return RevokeAt(holder, l, m, r);
+      },
+      [this](uint32_t holder) { HandleDeadHolder(holder); }, &granted));
   if (obs::RecorderEnabled()) {
     obs::RecordInstant(obs::Layer::kLock, "lockd.grant", self_, "lock", lock, "slot", slot);
   }
-  return Bytes{};
+  Encoder enc;
+  enc.PutU64(granted.start);
+  enc.PutU64(granted.end);
+  return enc.Take();
 }
 
 StatusOr<Bytes> CentralizedLockServer::DoRelease(Decoder& dec) {
   uint32_t slot = dec.GetU32();
   LockId lock = dec.GetU64();
   LockMode new_mode = static_cast<LockMode>(dec.GetU8());
+  LockRange range{dec.GetU64(), dec.GetU64()};
   if (!dec.ok()) {
     return InvalidArgument("bad release");
   }
-  core_.Release(slot, lock, new_mode);
+  core_.Release(slot, lock, new_mode, range);
   return Bytes{};
 }
 
-Status CentralizedLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode) {
+Status CentralizedLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode,
+                                       LockRange range) {
   if (slots_.Expired(holder)) {
     // Dead by definition: do not ask the zombie; run recovery instead.
     return Unavailable("holder lease expired");
@@ -139,6 +148,8 @@ Status CentralizedLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode ne
   Encoder enc;
   enc.PutU64(lock);
   enc.PutU8(static_cast<uint8_t>(new_mode));
+  enc.PutU64(range.start);
+  enc.PutU64(range.end);
   return net_->Call(self_, clerk, LockClerk::kServiceName, kClerkRevoke, enc.buffer()).status();
 }
 
@@ -222,7 +233,11 @@ void CentralizedLockServer::RecoverStateFromClerks(
     for (uint32_t i = 0; i < count && dec.ok(); ++i) {
       LockId lock = dec.GetU64();
       LockMode mode = static_cast<LockMode>(dec.GetU8());
-      core_.Install(reported_slot, lock, mode);
+      LockRange range{dec.GetU64(), dec.GetU64()};
+      if (!dec.ok()) {
+        break;
+      }
+      core_.Install(reported_slot, lock, mode, range);
     }
   }
 }

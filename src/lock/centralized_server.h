@@ -50,7 +50,7 @@ class CentralizedLockServer : public Service {
   StatusOr<Bytes> DoRequest(Decoder& dec);
   StatusOr<Bytes> DoRelease(Decoder& dec);
 
-  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode);
+  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode, LockRange range);
   // Handles an unreachable/dead holder: waits out the lease, has a live
   // clerk replay the dead log, then releases the dead slot's locks.
   void HandleDeadHolder(uint32_t holder);

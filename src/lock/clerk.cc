@@ -1,5 +1,6 @@
 #include "src/lock/clerk.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "src/base/logging.h"
@@ -19,6 +20,9 @@ LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> rout
   m_sticky_hits_ = reg->GetCounter("lock.acquire.sticky");
   m_remote_acquires_ = reg->GetCounter("lock.acquire.remote");
   m_revokes_ = reg->GetCounter("lock.revoke.count");
+  m_range_cache_hits_ = reg->GetCounter("lock.range_cache_hits");
+  m_range_splits_ = reg->GetCounter("lock.range_splits");
+  m_partial_revokes_ = reg->GetCounter("lock.partial_revokes");
   m_acquire_us_ = reg->GetHistogram("lock.acquire_us");
   m_grant_wait_us_ = reg->GetHistogram("lock.grant_wait_us");
   m_release_us_ = reg->GetHistogram("lock.release_us");
@@ -90,7 +94,7 @@ Duration LockClerk::lease_duration() const {
   return lease_duration_;
 }
 
-Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request) {
+StatusOr<Bytes> LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request) {
   constexpr int kAttempts = 6;
   Status last = Unavailable("no attempt");
   for (int attempt = 0; attempt < kAttempts; ++attempt) {
@@ -102,7 +106,7 @@ Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request)
     }
     StatusOr<Bytes> reply = net_->Call(self_, *server, "lockd", method, request);
     if (reply.ok()) {
-      return OkStatus();
+      return reply;
     }
     last = reply.status();
     if (last.code() == StatusCode::kUnavailable ||
@@ -117,8 +121,18 @@ Status LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes& request)
   return last;
 }
 
-Status LockClerk::Acquire(LockId lock, LockMode mode) {
+bool LockClerk::UsesOverlap(const Entry& e, LockRange range) {
+  for (const Use& u : e.uses) {
+    if (u.range.Overlaps(range)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status LockClerk::Acquire(LockId lock, LockMode mode, LockRange range) {
   FGP_CHECK(mode != LockMode::kNone);
+  FGP_CHECK(!range.empty());
   obs::LayerTimer timer(obs::Layer::kLock, m_acquire_us_);
   obs::SpanScope span(obs::Layer::kLock, "lock.acquire", self_, "lock", lock, "mode",
                       static_cast<uint64_t>(mode));
@@ -128,25 +142,49 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
       return StaleLease("lock table closed or lease lost");
     }
     Entry& e = cache_[lock];
-    if (e.revoking || e.pending) {
+    bool revoking_overlap = false;
+    for (const LockRange& r : e.revoking) {
+      if (r.Overlaps(range)) {
+        revoking_overlap = true;
+        break;
+      }
+    }
+    if (revoking_overlap) {
       cv_.wait(lk);
       continue;
     }
-    if (e.mode == LockMode::kExclusive || e.mode == mode) {
-      ++e.users;
+    if (RangeSetCovers(e.held, range.start, range.end, mode)) {
+      e.uses.push_back({range, mode});
       e.last_used = clock_->Now();
       m_sticky_hits_->Increment();
+      if (!range.full()) {
+        m_range_cache_hits_->Increment();
+      }
       return OkStatus();
     }
-    if (e.mode == LockMode::kShared && mode == LockMode::kExclusive && e.users > 0) {
-      // Upgrade wanted while another local operation reads under the shared
-      // lock: wait for it to finish first.
+    if (e.pending) {
+      // One server request per lock at a time; the reply may cover us.
       cv_.wait(lk);
       continue;
     }
-    // Need to talk to the server: either a fresh acquire or an upgrade.
-    // Upgrades are issued as a request for the stronger mode; the server
-    // treats a request from an existing holder as an upgrade.
+    if (mode == LockMode::kExclusive) {
+      // Upgrade wanted while another local operation reads the overlapping
+      // range under a shared hold: wait for it to finish first.
+      bool shared_reader = false;
+      for (const Use& u : e.uses) {
+        if (u.mode == LockMode::kShared && u.range.Overlaps(range)) {
+          shared_reader = true;
+          break;
+        }
+      }
+      if (shared_reader) {
+        cv_.wait(lk);
+        continue;
+      }
+    }
+    // Need to talk to the server: a fresh acquire, a range extension, or an
+    // upgrade. Upgrades are issued as a request for the stronger mode; the
+    // server treats a request from an existing holder as an upgrade.
     e.pending = true;
     uint32_t slot = slot_;
     lk.unlock();
@@ -155,29 +193,42 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
     enc.PutU32(slot);
     enc.PutU64(lock);
     enc.PutU8(static_cast<uint8_t>(mode));
+    enc.PutU64(range.start);
+    enc.PutU64(range.end);
     m_remote_acquires_->Increment();
-    Status st;
+    StatusOr<Bytes> reply = Unavailable("not sent");
     {
       obs::LayerTimer grant_timer(obs::Layer::kLock, m_grant_wait_us_);
       obs::SpanScope grant_span(obs::Layer::kLock, "lock.grant_wait", self_, "lock", lock,
                                 "mode", static_cast<uint64_t>(mode));
-      st = ServerCall(kLockRequest, lock, enc.buffer());
+      reply = ServerCall(kLockRequest, lock, enc.buffer());
     }
 
     lk.lock();
     Entry& e2 = cache_[lock];
     e2.pending = false;
-    if (!st.ok()) {
+    if (!reply.ok()) {
       cv_.notify_all();
-      if (st.code() == StatusCode::kStaleLease) {
+      if (reply.status().code() == StatusCode::kStaleLease) {
         lk.unlock();
         MarkLeaseLost();
         lk.lock();
       }
-      return st;
+      return reply.status();
     }
-    e2.mode = mode;
-    ++e2.users;
+    // The reply carries the granted extent, which contains the request and
+    // may be wider (grant expansion).
+    LockRange granted = range;
+    Decoder rdec(reply.value());
+    if (reply.value().size() >= 16) {
+      uint64_t gs = rdec.GetU64();
+      uint64_t ge = rdec.GetU64();
+      if (rdec.ok() && gs < ge) {
+        granted = {gs, ge};
+      }
+    }
+    RangeSetAdd(e2.held, granted.start, granted.end, mode);
+    e2.uses.push_back({range, mode});
     e2.last_used = clock_->Now();
     cv_.notify_all();
     lk.unlock();
@@ -191,7 +242,7 @@ Status LockClerk::Acquire(LockId lock, LockMode mode) {
   }
 }
 
-void LockClerk::Release(LockId lock) {
+void LockClerk::Release(LockId lock, LockRange range) {
   obs::LayerTimer timer(obs::Layer::kLock, m_release_us_);
   if (obs::RecorderEnabled()) {
     obs::RecordInstant(obs::Layer::kLock, "lock.release", self_, "lock", lock);
@@ -201,8 +252,10 @@ void LockClerk::Release(LockId lock) {
   if (it == cache_.end()) {
     return;
   }
-  FGP_CHECK(it->second.users > 0) << "Release without Acquire for lock " << lock;
-  --it->second.users;
+  auto uit = std::find_if(it->second.uses.begin(), it->second.uses.end(),
+                          [&](const Use& u) { return u.range == range; });
+  FGP_CHECK(uit != it->second.uses.end()) << "Release without Acquire for lock " << lock;
+  it->second.uses.erase(uit);
   it->second.last_used = clock_->Now();
   cv_.notify_all();
 }
@@ -218,7 +271,7 @@ void LockClerk::DropIdle(Duration max_idle) {
     slot = slot_;
     TimePoint now = clock_->Now();
     for (auto& [lock, e] : cache_) {
-      if (e.mode != LockMode::kNone && e.users == 0 && !e.revoking && !e.pending &&
+      if (!e.held.empty() && e.uses.empty() && e.revoking.empty() && !e.pending &&
           now - e.last_used >= max_idle) {
         to_drop.push_back(lock);
       }
@@ -228,16 +281,16 @@ void LockClerk::DropIdle(Duration max_idle) {
     {
       std::unique_lock<std::mutex> lk(mu_);
       auto it = cache_.find(lock);
-      if (it == cache_.end() || it->second.users > 0 || it->second.revoking ||
+      if (it == cache_.end() || !it->second.uses.empty() || !it->second.revoking.empty() ||
           it->second.pending) {
         continue;
       }
       // Flush dirty data (a write lock may cover dirty blocks) before
       // giving the lock back.
-      it->second.revoking = true;
+      it->second.revoking.push_back(LockRange{});
       lk.unlock();
       if (callbacks_.on_revoke) {
-        callbacks_.on_revoke(lock, LockMode::kNone);
+        callbacks_.on_revoke(lock, LockMode::kNone, LockRange{});
       }
       lk.lock();
       cache_.erase(lock);
@@ -247,6 +300,8 @@ void LockClerk::DropIdle(Duration max_idle) {
     enc.PutU32(slot);
     enc.PutU64(lock);
     enc.PutU8(static_cast<uint8_t>(LockMode::kNone));
+    enc.PutU64(0);
+    enc.PutU64(kRangeEnd);
     (void)ServerCall(kLockRelease, lock, enc.buffer());
   }
 }
@@ -324,14 +379,26 @@ int64_t LockClerk::LeaseExpiryUs() const {
 LockMode LockClerk::CachedMode(LockId lock) const {
   std::lock_guard<std::mutex> guard(mu_);
   auto it = cache_.find(lock);
-  return it == cache_.end() ? LockMode::kNone : it->second.mode;
+  return it == cache_.end() ? LockMode::kNone : RangeSetMaxMode(it->second.held);
+}
+
+LockMode LockClerk::CachedModeAt(LockId lock, uint64_t off) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = cache_.find(lock);
+  return it == cache_.end() ? LockMode::kNone : RangeSetModeAt(it->second.held, off);
+}
+
+bool LockClerk::CachedCovers(LockId lock, uint64_t start, uint64_t end, LockMode mode) const {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = cache_.find(lock);
+  return it != cache_.end() && RangeSetCovers(it->second.held, start, end, mode);
 }
 
 size_t LockClerk::cached_lock_count() const {
   std::lock_guard<std::mutex> guard(mu_);
   size_t n = 0;
   for (const auto& [lock, e] : cache_) {
-    if (e.mode != LockMode::kNone) {
+    if (!e.held.empty()) {
       ++n;
     }
   }
@@ -355,6 +422,7 @@ StatusOr<Bytes> LockClerk::Handle(uint32_t method, const Bytes& request, NodeId 
 StatusOr<Bytes> LockClerk::HandleRevoke(Decoder& dec) {
   LockId lock = dec.GetU64();
   LockMode new_mode = static_cast<LockMode>(dec.GetU8());
+  LockRange range{dec.GetU64(), dec.GetU64()};
   if (!dec.ok()) {
     return InvalidArgument("bad revoke");
   }
@@ -372,25 +440,54 @@ StatusOr<Bytes> LockClerk::HandleRevoke(Decoder& dec) {
     return StaleLease("holder lost its lease; recover its log first");
   }
   // Grant/revoke serialization is guaranteed by the server (it never
-  // revokes an unacked grant), so the locally recorded mode is authoritative
-  // here.
+  // revokes an unacked grant), so the locally recorded extents are
+  // authoritative here.
   auto it = cache_.find(lock);
-  if (it == cache_.end() || it->second.mode == LockMode::kNone ||
-      (new_mode == LockMode::kShared && it->second.mode == LockMode::kShared)) {
+  if (it == cache_.end()) {
     return Bytes{};  // nothing to give back (e.g. our release is in flight)
   }
-  // Wait for local users of the lock to finish, then flush + downgrade.
-  it->second.revoking = true;
-  cv_.wait(lk, [&] { return cache_[lock].users == 0; });
+  bool anything = false;
+  bool holds_outside = false;
+  for (const RangeHold& h : it->second.held) {
+    bool overlaps = h.start < range.end && h.end > range.start;
+    if (overlaps && h.mode > new_mode) {
+      anything = true;
+    }
+    if (!overlaps || h.start < range.start || h.end > range.end) {
+      holds_outside = true;
+    }
+  }
+  if (!anything) {
+    return Bytes{};  // nothing held above new_mode in the revoked extent
+  }
+  if (holds_outside) {
+    // Only part of our cached extents is being taken back.
+    m_partial_revokes_->Increment();
+    if (obs::RecorderEnabled()) {
+      obs::RecordInstant(obs::Layer::kLock, "lock.partial_revoke", self_, "lock", lock, "start",
+                        range.start);
+    }
+  }
+  // Wait for local users overlapping the revoked extent to finish, then
+  // flush + downgrade. Users of disjoint ranges are unaffected.
+  it->second.revoking.push_back(range);
+  cv_.wait(lk, [&] { return !UsesOverlap(cache_[lock], range); });
   lk.unlock();
   if (callbacks_.on_revoke) {
-    callbacks_.on_revoke(lock, new_mode);
+    callbacks_.on_revoke(lock, new_mode, range);
   }
   lk.lock();
   Entry& e = cache_[lock];
-  e.mode = new_mode;
-  e.revoking = false;
-  if (new_mode == LockMode::kNone && e.users == 0 && !e.pending) {
+  int splits = RangeSetDowngrade(e.held, range.start, range.end, new_mode);
+  if (splits > 0) {
+    m_range_splits_->Increment(splits);
+  }
+  auto rit = std::find_if(e.revoking.begin(), e.revoking.end(),
+                          [&](const LockRange& r) { return r == range; });
+  if (rit != e.revoking.end()) {
+    e.revoking.erase(rit);
+  }
+  if (e.held.empty() && e.uses.empty() && !e.pending && e.revoking.empty()) {
     cache_.erase(lock);
   }
   lk.unlock();
@@ -429,16 +526,16 @@ StatusOr<Bytes> LockClerk::HandleListHeld() {
   }
   uint32_t count = 0;
   for (const auto& [lock, e] : cache_) {
-    if (e.mode != LockMode::kNone) {
-      ++count;
-    }
+    count += static_cast<uint32_t>(e.held.size());
   }
   enc.PutU32(slot_);
   enc.PutU32(count);
   for (const auto& [lock, e] : cache_) {
-    if (e.mode != LockMode::kNone) {
+    for (const RangeHold& h : e.held) {
       enc.PutU64(lock);
-      enc.PutU8(static_cast<uint8_t>(e.mode));
+      enc.PutU8(static_cast<uint8_t>(h.mode));
+      enc.PutU64(h.start);
+      enc.PutU64(h.end);
     }
   }
   return enc.Take();

@@ -3,6 +3,11 @@
 // lock servers (flushing dirty data through a file-system callback first),
 // runs log recovery on behalf of crashed peers when asked, and reports held
 // locks for lock-server state reconstruction.
+//
+// Locks are extents (LockId, [start, end)): the clerk caches a per-lock
+// interval set of held ranges, serves acquires covered by cached ranges
+// locally, and splits/merges ranges on partial revoke. Metadata locks use
+// the full range throughout and behave exactly as whole locks.
 #ifndef SRC_LOCK_CLERK_H_
 #define SRC_LOCK_CLERK_H_
 
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/lock/range_set.h"
 #include "src/lock/router.h"
 #include "src/lock/types.h"
 #include "src/net/network.h"
@@ -25,10 +31,11 @@ namespace frangipani {
 class LockClerk : public Service {
  public:
   struct Callbacks {
-    // Called when the lock service revokes/downgrades `lock`. The callee
-    // must write dirty data covered by the lock to Petal, and invalidate its
-    // cache entries if new_mode == kNone (§5).
-    std::function<void(LockId lock, LockMode new_mode)> on_revoke;
+    // Called when the lock service revokes/downgrades `range` of `lock`.
+    // The callee must write dirty data covered by the lock range to Petal,
+    // and invalidate its cache entries in the range if new_mode == kNone
+    // (§5). Metadata locks always pass the full range.
+    std::function<void(LockId lock, LockMode new_mode, LockRange range)> on_revoke;
     // Called when this clerk is chosen to recover a crashed peer's log
     // (replay log slot `dead_slot` against Petal).
     std::function<Status(uint32_t dead_slot)> on_recover;
@@ -53,11 +60,12 @@ class LockClerk : public Service {
   bool poisoned() const;
   Duration lease_duration() const;
 
-  // Blocks until the lock is held in `mode` (served from the cache when
-  // possible). Each Acquire must be paired with a Release; the lock stays
-  // cached after Release until revoked or idle-dropped.
-  Status Acquire(LockId lock, LockMode mode);
-  void Release(LockId lock);
+  // Blocks until `range` of the lock is held in `mode` (served from the
+  // cached interval set when covered). Each Acquire must be paired with a
+  // Release of the same range; the granted extent stays cached after
+  // Release until revoked or idle-dropped.
+  Status Acquire(LockId lock, LockMode mode, LockRange range = LockRange{});
+  void Release(LockId lock, LockRange range = LockRange{});
 
   // Returns cached locks unused for at least `max_idle` to the service
   // (paper: clerks discard locks unused for 1 hour).
@@ -70,23 +78,35 @@ class LockClerk : public Service {
   // Petal writes (§6). 0 when the lease is invalid.
   int64_t LeaseExpiryUs() const;
 
+  // Strongest mode cached anywhere on `lock` (whole-lock summary).
   LockMode CachedMode(LockId lock) const;
+  // Mode cached at byte `off` of `lock`.
+  LockMode CachedModeAt(LockId lock, uint64_t off) const;
+  // True when the cached interval set covers [start, end) at `mode` or
+  // stronger (used to bound read-ahead to held extents).
+  bool CachedCovers(LockId lock, uint64_t start, uint64_t end, LockMode mode) const;
   size_t cached_lock_count() const;
 
   // Service (calls from lock servers):
   StatusOr<Bytes> Handle(uint32_t method, const Bytes& request, NodeId from) override;
 
  private:
+  struct Use {
+    LockRange range;
+    LockMode mode;
+  };
   struct Entry {
-    LockMode mode = LockMode::kNone;
-    int users = 0;
-    bool pending = false;   // a request to the server is in flight
-    bool revoking = false;  // a server revoke is being processed
+    RangeSet held;                   // granted extents, disjoint and merged
+    std::vector<Use> uses;           // active Acquires (ranges, possibly dup)
+    bool pending = false;            // a request to the server is in flight
+    std::vector<LockRange> revoking; // server revokes being processed
     TimePoint last_used{};
   };
 
-  // Sends a lock-server call with routing/failover.
-  Status ServerCall(uint32_t method, LockId lock, const Bytes& request);
+  static bool UsesOverlap(const Entry& e, LockRange range);
+
+  // Sends a lock-server call with routing/failover; returns the reply.
+  StatusOr<Bytes> ServerCall(uint32_t method, LockId lock, const Bytes& request);
 
   StatusOr<Bytes> HandleRevoke(Decoder& dec);
   StatusOr<Bytes> HandleRecoverSlot(Decoder& dec);
@@ -113,6 +133,9 @@ class LockClerk : public Service {
   obs::Counter* m_sticky_hits_;
   obs::Counter* m_remote_acquires_;
   obs::Counter* m_revokes_;
+  obs::Counter* m_range_cache_hits_;
+  obs::Counter* m_range_splits_;
+  obs::Counter* m_partial_revokes_;
   Histogram* m_acquire_us_;
   Histogram* m_grant_wait_us_;
   Histogram* m_release_us_;

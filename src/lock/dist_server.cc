@@ -300,6 +300,7 @@ StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
   uint32_t slot = dec.GetU32();
   LockId lock = dec.GetU64();
   LockMode mode = static_cast<LockMode>(dec.GetU8());
+  LockRange range{dec.GetU64(), dec.GetU64()};
   if (!dec.ok()) {
     return InvalidArgument("bad request");
   }
@@ -321,20 +322,27 @@ StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
   // inside (RevokeAt below), so a handoff shows as one nested span tree.
   obs::SpanScope span(obs::Layer::kLock, "lockd.request", self_, "lock", lock, "mode",
                       static_cast<uint64_t>(mode));
+  LockRange granted;
   RETURN_IF_ERROR(core_.Request(
-      slot, lock, mode,
-      [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
-      [this](uint32_t holder) { HandleDeadHolder(holder); }));
+      slot, lock, mode, range,
+      [this](uint32_t holder, LockId l, LockMode m, LockRange r) {
+        return RevokeAt(holder, l, m, r);
+      },
+      [this](uint32_t holder) { HandleDeadHolder(holder); }, &granted));
   if (obs::RecorderEnabled()) {
     obs::RecordInstant(obs::Layer::kLock, "lockd.grant", self_, "lock", lock, "slot", slot);
   }
-  return Bytes{};
+  Encoder enc;
+  enc.PutU64(granted.start);
+  enc.PutU64(granted.end);
+  return enc.Take();
 }
 
 StatusOr<Bytes> DistLockServer::DoRelease(Decoder& dec) {
   uint32_t slot = dec.GetU32();
   LockId lock = dec.GetU64();
   LockMode new_mode = static_cast<LockMode>(dec.GetU8());
+  LockRange range{dec.GetU64(), dec.GetU64()};
   if (!dec.ok()) {
     return InvalidArgument("bad release");
   }
@@ -344,7 +352,7 @@ StatusOr<Bytes> DistLockServer::DoRelease(Decoder& dec) {
       return FailedPrecondition("lock group not served here");
     }
   }
-  core_.Release(slot, lock, new_mode);
+  core_.Release(slot, lock, new_mode, range);
   return Bytes{};
 }
 
@@ -393,8 +401,9 @@ void DistLockServer::WarmColdGroups() {
     for (uint32_t i = 0; i < count && dec.ok(); ++i) {
       LockId lock = dec.GetU64();
       LockMode mode = static_cast<LockMode>(dec.GetU8());
-      if (groups.count(LockGroupOf(lock)) > 0) {
-        core_.Install(reported_slot, lock, mode);
+      LockRange range{dec.GetU64(), dec.GetU64()};
+      if (dec.ok() && groups.count(LockGroupOf(lock)) > 0) {
+        core_.Install(reported_slot, lock, mode, range);
       }
     }
   }
@@ -408,7 +417,8 @@ void DistLockServer::WarmColdGroups() {
   cv_.notify_all();
 }
 
-Status DistLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode) {
+Status DistLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode,
+                                LockRange range) {
   if (!SlotLiveLocally(holder)) {
     bool open;
     {
@@ -429,6 +439,8 @@ Status DistLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode)
   Encoder enc;
   enc.PutU64(lock);
   enc.PutU8(static_cast<uint8_t>(new_mode));
+  enc.PutU64(range.start);
+  enc.PutU64(range.end);
   return net_->Call(self_, clerk, LockClerk::kServiceName, kClerkRevoke, enc.buffer()).status();
 }
 

@@ -116,7 +116,7 @@ class DistLockServer : public Service {
   StatusOr<Bytes> DoRelease(Decoder& dec);
   StatusOr<Bytes> DoGetAssignment();
 
-  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode);
+  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode, LockRange range);
   void HandleDeadHolder(uint32_t holder);
 
   // Phase 2 of reassignment: rebuild lock state for groups this server just

@@ -29,12 +29,14 @@ PrimaryBackupLockServer::~PrimaryBackupLockServer() {
 void PrimaryBackupLockServer::PersistState() {
   Encoder enc;
   slots_.Encode(enc);
-  std::vector<std::tuple<LockId, uint32_t, LockMode>> dump = core_.Dump();
+  std::vector<LockCore::DumpEntry> dump = core_.Dump();
   enc.PutU32(static_cast<uint32_t>(dump.size()));
-  for (const auto& [lock, slot, mode] : dump) {
-    enc.PutU64(lock);
-    enc.PutU32(slot);
-    enc.PutU8(static_cast<uint8_t>(mode));
+  for (const LockCore::DumpEntry& d : dump) {
+    enc.PutU64(d.lock);
+    enc.PutU32(d.slot);
+    enc.PutU8(static_cast<uint8_t>(d.mode));
+    enc.PutU64(d.range.start);
+    enc.PutU64(d.range.end);
   }
   Encoder framed;
   framed.PutU32(static_cast<uint32_t>(enc.size()));
@@ -64,7 +66,10 @@ Status PrimaryBackupLockServer::LoadState() {
     LockId lock = dec.GetU64();
     uint32_t slot = dec.GetU32();
     LockMode mode = static_cast<LockMode>(dec.GetU8());
-    core_.Install(slot, lock, mode);
+    LockRange range{dec.GetU64(), dec.GetU64()};
+    if (dec.ok()) {
+      core_.Install(slot, lock, mode, range);
+    }
   }
   if (!dec.ok()) {
     return DataLoss("corrupt lock state blob");
@@ -129,24 +134,35 @@ StatusOr<Bytes> PrimaryBackupLockServer::Dispatch(uint32_t method, Decoder& dec,
       uint32_t slot = dec.GetU32();
       LockId lock = dec.GetU64();
       LockMode mode = static_cast<LockMode>(dec.GetU8());
+      LockRange range{dec.GetU64(), dec.GetU64()};
       if (!dec.ok()) {
         return InvalidArgument("bad request");
       }
       if (!slots_.IsOpen(slot) || slots_.Expired(slot)) {
         return StaleLease("lease not live");
       }
+      LockRange granted;
       RETURN_IF_ERROR(core_.Request(
-          slot, lock, mode,
-          [this](uint32_t holder, LockId l, LockMode m) { return RevokeAt(holder, l, m); },
-          [this](uint32_t holder) { HandleDeadHolder(holder); }));
+          slot, lock, mode, range,
+          [this](uint32_t holder, LockId l, LockMode m, LockRange r) {
+            return RevokeAt(holder, l, m, r);
+          },
+          [this](uint32_t holder) { HandleDeadHolder(holder); }, &granted));
       PersistState();
-      return Bytes{};
+      Encoder enc;
+      enc.PutU64(granted.start);
+      enc.PutU64(granted.end);
+      return enc.Take();
     }
     case kLockRelease: {
       uint32_t slot = dec.GetU32();
       LockId lock = dec.GetU64();
       LockMode new_mode = static_cast<LockMode>(dec.GetU8());
-      core_.Release(slot, lock, new_mode);
+      LockRange range{dec.GetU64(), dec.GetU64()};
+      if (!dec.ok()) {
+        return InvalidArgument("bad release");
+      }
+      core_.Release(slot, lock, new_mode, range);
       PersistState();
       return Bytes{};
     }
@@ -171,7 +187,8 @@ StatusOr<Bytes> PrimaryBackupLockServer::Dispatch(uint32_t method, Decoder& dec,
   }
 }
 
-Status PrimaryBackupLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode) {
+Status PrimaryBackupLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode new_mode,
+                                         LockRange range) {
   if (slots_.Expired(holder)) {
     return Unavailable("holder lease expired");
   }
@@ -182,6 +199,8 @@ Status PrimaryBackupLockServer::RevokeAt(uint32_t holder, LockId lock, LockMode 
   Encoder enc;
   enc.PutU64(lock);
   enc.PutU8(static_cast<uint8_t>(new_mode));
+  enc.PutU64(range.start);
+  enc.PutU64(range.end);
   return net_->Call(self_, clerk, LockClerk::kServiceName, kClerkRevoke, enc.buffer()).status();
 }
 

@@ -43,7 +43,7 @@ class PrimaryBackupLockServer : public Service {
 
  private:
   StatusOr<Bytes> Dispatch(uint32_t method, Decoder& dec, NodeId from);
-  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode);
+  Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode, LockRange range);
   void HandleDeadHolder(uint32_t holder);
 
   // Writes the full lock/lease state through to Petal ("each lock state

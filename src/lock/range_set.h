@@ -1,0 +1,167 @@
+// Interval-set arithmetic for extent locks. A RangeSet is the disjoint,
+// sorted, maximally-merged list of [start, end) extents one holder has on
+// one lock, each with its own mode. Shared by LockCore (per-slot holds) and
+// LockClerk (the cached interval set).
+#ifndef SRC_LOCK_RANGE_SET_H_
+#define SRC_LOCK_RANGE_SET_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "src/lock/types.h"
+
+namespace frangipani {
+
+struct RangeHold {
+  uint64_t start = 0;
+  uint64_t end = 0;  // exclusive
+  LockMode mode = LockMode::kNone;
+};
+
+// Invariant: sorted by start, non-overlapping, no empty ranges, adjacent
+// ranges with equal modes merged.
+using RangeSet = std::vector<RangeHold>;
+
+inline void RangeSetNormalize(RangeSet& set) {
+  std::sort(set.begin(), set.end(),
+            [](const RangeHold& a, const RangeHold& b) { return a.start < b.start; });
+  RangeSet out;
+  for (const RangeHold& h : set) {
+    if (h.start >= h.end || h.mode == LockMode::kNone) {
+      continue;
+    }
+    if (!out.empty() && out.back().end == h.start && out.back().mode == h.mode) {
+      out.back().end = h.end;
+    } else {
+      out.push_back(h);
+    }
+  }
+  set = std::move(out);
+}
+
+// Grants [start, end) in `mode`. Overlapping parts of existing holds keep
+// the stronger of the two modes (re-granting shared under an exclusive hold
+// must not downgrade it); uncovered parts of the grant are inserted fresh.
+inline void RangeSetAdd(RangeSet& set, uint64_t start, uint64_t end, LockMode mode) {
+  if (start >= end || mode == LockMode::kNone) {
+    return;
+  }
+  RangeSet out;
+  out.reserve(set.size() + 2);
+  uint64_t pos = start;  // walks the uncovered parts of the grant
+  for (const RangeHold& h : set) {
+    if (h.end <= start || h.start >= end) {
+      out.push_back(h);
+      continue;
+    }
+    if (h.start < start) {
+      out.push_back({h.start, start, h.mode});
+    }
+    if (h.start > pos && pos < end) {
+      out.push_back({pos, std::min(h.start, end), mode});  // gap before h
+    }
+    out.push_back({std::max(h.start, start), std::min(h.end, end), std::max(h.mode, mode)});
+    if (h.end > end) {
+      out.push_back({end, h.end, h.mode});
+    }
+    pos = std::max(pos, std::min(h.end, end));
+  }
+  if (pos < end) {
+    out.push_back({pos, end, mode});
+  }
+  RangeSetNormalize(out);
+  set = std::move(out);
+}
+
+// Reduces every hold overlapping [start, end) to `new_mode` (kNone removes
+// it). Holds outside the range are untouched; a hold straddling a boundary
+// is split. Returns the number of holds that were split (partial coverage),
+// for the lock.range_splits metric.
+inline int RangeSetDowngrade(RangeSet& set, uint64_t start, uint64_t end, LockMode new_mode) {
+  if (start >= end) {
+    return 0;
+  }
+  int splits = 0;
+  RangeSet out;
+  out.reserve(set.size() + 2);
+  for (const RangeHold& h : set) {
+    if (h.end <= start || h.start >= end) {
+      out.push_back(h);
+      continue;
+    }
+    bool straddles = h.start < start || h.end > end;
+    if (straddles && new_mode < h.mode) {
+      ++splits;  // the hold survives in pieces around the revoked extent
+    }
+    if (h.start < start) {
+      out.push_back({h.start, start, h.mode});
+    }
+    LockMode kept = std::min(h.mode, new_mode);
+    if (kept != LockMode::kNone) {
+      out.push_back({std::max(h.start, start), std::min(h.end, end), kept});
+    }
+    if (h.end > end) {
+      out.push_back({end, h.end, h.mode});
+    }
+  }
+  RangeSetNormalize(out);
+  set = std::move(out);
+  return splits;
+}
+
+// True when every byte of [start, end) is covered by a hold of mode >= need.
+inline bool RangeSetCovers(const RangeSet& set, uint64_t start, uint64_t end, LockMode need) {
+  if (start >= end) {
+    return true;
+  }
+  uint64_t pos = start;
+  for (const RangeHold& h : set) {
+    if (h.end <= pos) {
+      continue;
+    }
+    if (h.start > pos) {
+      return false;  // gap
+    }
+    if (h.mode < need) {
+      return false;
+    }
+    pos = h.end;
+    if (pos >= end) {
+      return true;
+    }
+  }
+  return pos >= end;
+}
+
+// True when any hold overlaps [start, end).
+inline bool RangeSetOverlaps(const RangeSet& set, uint64_t start, uint64_t end) {
+  for (const RangeHold& h : set) {
+    if (h.start < end && h.end > start) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Strongest mode found anywhere in the set (for whole-lock summaries).
+inline LockMode RangeSetMaxMode(const RangeSet& set) {
+  LockMode m = LockMode::kNone;
+  for (const RangeHold& h : set) {
+    m = std::max(m, h.mode);
+  }
+  return m;
+}
+
+// Mode of the hold containing `off`, kNone if uncovered.
+inline LockMode RangeSetModeAt(const RangeSet& set, uint64_t off) {
+  for (const RangeHold& h : set) {
+    if (h.start <= off && off < h.end) {
+      return h.mode;
+    }
+  }
+  return LockMode::kNone;
+}
+
+}  // namespace frangipani
+
+#endif  // SRC_LOCK_RANGE_SET_H_

@@ -20,6 +20,27 @@ enum class LockMode : uint8_t {
   kExclusive = 2,
 };
 
+// Byte-range extent attached to a lock name (Lustre-style extent locks).
+// Metadata locks always use the full range [0, kRangeEnd), which preserves
+// the original whole-lock semantics; inode *data* locks carve the file's
+// byte space into independently held extents so writers to disjoint ranges
+// never conflict.
+inline constexpr uint64_t kRangeEnd = ~0ull;
+
+struct LockRange {
+  uint64_t start = 0;
+  uint64_t end = kRangeEnd;  // exclusive
+
+  bool full() const { return start == 0 && end == kRangeEnd; }
+  bool empty() const { return start >= end; }
+  bool Overlaps(const LockRange& o) const { return start < o.end && o.start < end; }
+  bool Contains(const LockRange& o) const { return start <= o.start && o.end <= end; }
+  bool operator==(const LockRange& o) const { return start == o.start && end == o.end; }
+};
+
+inline LockRange FullRange() { return LockRange{}; }
+inline LockRange MakeRange(uint64_t start, uint64_t end) { return LockRange{start, end}; }
+
 inline const char* LockModeName(LockMode m) {
   switch (m) {
     case LockMode::kNone:
@@ -51,22 +72,25 @@ inline constexpr Duration kDefaultLeaseDuration{30'000'000};
 inline constexpr Duration kDefaultLeaseMargin{15'000'000};
 
 // Wire methods of every lock server flavor (service name "lockd").
+// Requests, releases and revokes carry a byte range [start, end); whole-lock
+// callers pass [0, kRangeEnd). A request reply returns the granted range,
+// which may be larger than the request (grant expansion).
 enum LockServerMethod : uint32_t {
-  kLockOpen = 1,      // {table}                      -> {slot, lease_us}
-  kLockClose = 2,     // {slot}                       -> {}
-  kLockRenew = 3,     // {slot}                       -> {lease_us remaining ok}
-  kLockRequest = 4,   // {slot, lock, mode}           -> {} granted (blocks)
-  kLockRelease = 5,   // {slot, lock, new_mode}       -> {}
-  kLockGetAssignment = 6,  // {}                      -> {servers, group map}
+  kLockOpen = 1,      // {table}                          -> {slot, lease_us}
+  kLockClose = 2,     // {slot}                           -> {}
+  kLockRenew = 3,     // {slot}                           -> {lease_us remaining ok}
+  kLockRequest = 4,   // {slot, lock, mode, start, end}   -> {start, end} granted (blocks)
+  kLockRelease = 5,   // {slot, lock, new_mode, start, end} -> {}
+  kLockGetAssignment = 6,  // {}                          -> {servers, group map}
   kLockActivate = 7,  // primary/backup: force takeover (admin/testing)
   kLockAck = 8,       // {slot, lock}: clerk acknowledges a grant
 };
 
 // Methods of the clerk-side callback service (service name "lockclerk").
 enum LockClerkMethod : uint32_t {
-  kClerkRevoke = 1,         // {lock, new_mode} -> {} after flush+downgrade
+  kClerkRevoke = 1,         // {lock, new_mode, start, end} -> {} after flush+downgrade
   kClerkRecoverSlot = 2,    // {dead_slot} -> {} after log replay
-  kClerkListHeld = 3,       // {} -> [(lock, mode)] for state reconstruction
+  kClerkListHeld = 3,       // {} -> [(lock, mode, start, end)] for reconstruction
 };
 
 inline bool ModesCompatible(LockMode held, LockMode wanted) {

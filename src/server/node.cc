@@ -20,9 +20,9 @@ FrangipaniNode::FrangipaniNode(Network* net, NodeId node, std::vector<NodeId> pe
     router = std::make_unique<StaticLockRouter>(std::move(lock_servers));
   }
   LockClerk::Callbacks callbacks;
-  callbacks.on_revoke = [this](LockId lock, LockMode new_mode) {
+  callbacks.on_revoke = [this](LockId lock, LockMode new_mode, LockRange range) {
     if (fs_) {
-      fs_->OnLockRevoked(lock, new_mode);
+      fs_->OnLockRevoked(lock, new_mode, range);
     }
   };
   callbacks.on_recover = [this](uint32_t dead_slot) -> Status {

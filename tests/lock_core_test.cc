@@ -10,16 +10,27 @@ namespace frangipani {
 namespace {
 
 LockCore::RevokeFn NoRevoke() {
-  return [](uint32_t, LockId, LockMode) { return OkStatus(); };
+  return [](uint32_t, LockId, LockMode, LockRange) { return OkStatus(); };
 }
 LockCore::DeadHolderFn NoDead() {
   return [](uint32_t) {};
 }
 
+// Whole-lock request helper: the pre-extent API surface most tests use.
+Status Req(LockCore& core, uint32_t slot, LockId lock, LockMode mode,
+           const LockCore::RevokeFn& revoke, const LockCore::DeadHolderFn& dead) {
+  LockRange granted;
+  Status st = core.Request(slot, lock, mode, LockRange{}, revoke, dead, &granted);
+  if (st.ok()) {
+    core.Ack(slot, lock);
+  }
+  return st;
+}
+
 TEST(LockCoreTest, SharedLocksCoexist) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
   EXPECT_EQ(core.HeldMode(2, 100), LockMode::kShared);
   EXPECT_EQ(core.lock_count(), 1u);
@@ -27,16 +38,16 @@ TEST(LockCoreTest, SharedLocksCoexist) {
 
 TEST(LockCoreTest, ExclusiveRevokesSharers) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
   std::vector<uint32_t> revoked;
-  auto revoke = [&](uint32_t holder, LockId lock, LockMode new_mode) {
+  auto revoke = [&](uint32_t holder, LockId lock, LockMode new_mode, LockRange) {
     EXPECT_EQ(lock, 100u);
     EXPECT_EQ(new_mode, LockMode::kNone);
     revoked.push_back(holder);
     return OkStatus();
   };
-  ASSERT_TRUE(core.Request(3, 100, LockMode::kExclusive, revoke, NoDead()).ok());
+  ASSERT_TRUE(Req(core, 3, 100, LockMode::kExclusive, revoke, NoDead()).ok());
   EXPECT_EQ(revoked.size(), 2u);
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kNone);
   EXPECT_EQ(core.HeldMode(3, 100), LockMode::kExclusive);
@@ -44,15 +55,15 @@ TEST(LockCoreTest, ExclusiveRevokesSharers) {
 
 TEST(LockCoreTest, ReaderDowngradesWriter) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   bool downgraded = false;
-  auto revoke = [&](uint32_t holder, LockId, LockMode new_mode) {
+  auto revoke = [&](uint32_t holder, LockId, LockMode new_mode, LockRange) {
     EXPECT_EQ(holder, 1u);
     EXPECT_EQ(new_mode, LockMode::kShared);
     downgraded = true;
     return OkStatus();
   };
-  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, revoke, NoDead()).ok());
+  ASSERT_TRUE(Req(core, 2, 100, LockMode::kShared, revoke, NoDead()).ok());
   EXPECT_TRUE(downgraded);
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
   EXPECT_EQ(core.HeldMode(2, 100), LockMode::kShared);
@@ -60,29 +71,29 @@ TEST(LockCoreTest, ReaderDowngradesWriter) {
 
 TEST(LockCoreTest, ReRequestIsIdempotent) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kExclusive);
 }
 
 TEST(LockCoreTest, UpgradeRevokesOtherSharers) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 2, 100, LockMode::kShared, NoRevoke(), NoDead()).ok());
   std::vector<uint32_t> revoked;
-  auto revoke = [&](uint32_t holder, LockId, LockMode) {
+  auto revoke = [&](uint32_t holder, LockId, LockMode, LockRange) {
     revoked.push_back(holder);
     return OkStatus();
   };
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, revoke, NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, revoke, NoDead()).ok());
   EXPECT_EQ(revoked, std::vector<uint32_t>{2});
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kExclusive);
 }
 
 TEST(LockCoreTest, ReleaseAndDowngrade) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   core.Release(1, 100, LockMode::kShared);
   EXPECT_EQ(core.HeldMode(1, 100), LockMode::kShared);
   core.Release(1, 100, LockMode::kNone);
@@ -92,7 +103,7 @@ TEST(LockCoreTest, ReleaseAndDowngrade) {
 TEST(LockCoreTest, ReleaseAllDropsEverything) {
   LockCore core;
   for (LockId l = 1; l <= 5; ++l) {
-    ASSERT_TRUE(core.Request(7, l, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+    ASSERT_TRUE(Req(core, 7, l, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   }
   EXPECT_EQ(core.lock_count(), 5u);
   core.ReleaseAll(7);
@@ -101,31 +112,31 @@ TEST(LockCoreTest, ReleaseAllDropsEverything) {
 
 TEST(LockCoreTest, DeadHolderCallbackOnFailedRevoke) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   int dead_calls = 0;
-  auto revoke = [&](uint32_t, LockId, LockMode) { return Unavailable("gone"); };
+  auto revoke = [&](uint32_t, LockId, LockMode, LockRange) { return Unavailable("gone"); };
   auto dead = [&](uint32_t holder) {
     EXPECT_EQ(holder, 1u);
     if (++dead_calls >= 1) {
       core.ReleaseAll(1);  // the "recovery" resolves the conflict
     }
   };
-  ASSERT_TRUE(core.Request(2, 100, LockMode::kExclusive, revoke, dead).ok());
+  ASSERT_TRUE(Req(core, 2, 100, LockMode::kExclusive, revoke, dead).ok());
   EXPECT_GE(dead_calls, 1);
   EXPECT_EQ(core.HeldMode(2, 100), LockMode::kExclusive);
 }
 
 TEST(LockCoreTest, BlockedRequesterWakesOnRelease) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 100, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   std::atomic<bool> granted{false};
   // Holder 1's revoke "waits" (simulating a busy user) and then complies.
   std::thread waiter([&] {
-    auto slow_revoke = [&](uint32_t, LockId, LockMode) {
+    auto slow_revoke = [&](uint32_t, LockId, LockMode, LockRange) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
       return OkStatus();
     };
-    ASSERT_TRUE(core.Request(2, 100, LockMode::kExclusive, slow_revoke, NoDead()).ok());
+    ASSERT_TRUE(Req(core, 2, 100, LockMode::kExclusive, slow_revoke, NoDead()).ok());
     granted.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -136,13 +147,13 @@ TEST(LockCoreTest, BlockedRequesterWakesOnRelease) {
 
 TEST(LockCoreTest, DumpAndInstallRoundTrip) {
   LockCore core;
-  ASSERT_TRUE(core.Request(1, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(2, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
-  ASSERT_TRUE(core.Request(3, 20, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 1, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 2, 10, LockMode::kShared, NoRevoke(), NoDead()).ok());
+  ASSERT_TRUE(Req(core, 3, 20, LockMode::kExclusive, NoRevoke(), NoDead()).ok());
   auto dump = core.Dump();
   LockCore fresh;
-  for (const auto& [lock, slot, mode] : dump) {
-    fresh.Install(slot, lock, mode);
+  for (const auto& e : dump) {
+    fresh.Install(e.slot, e.lock, e.mode, e.range);
   }
   EXPECT_EQ(fresh.HeldMode(1, 10), LockMode::kShared);
   EXPECT_EQ(fresh.HeldMode(2, 10), LockMode::kShared);

@@ -40,7 +40,7 @@ class LockExtraTest : public ::testing::Test {
     TestClerk* tc = &clerks_.back();
     tc->node = net_.AddNode("clerk" + std::to_string(clerks_.size()));
     LockClerk::Callbacks cb;
-    cb.on_revoke = [tc](LockId lock, LockMode mode) {
+    cb.on_revoke = [tc](LockId lock, LockMode mode, LockRange) {
       std::lock_guard<std::mutex> guard(tc->mu);
       tc->revokes.emplace_back(lock, mode);
     };

@@ -47,7 +47,7 @@ class CentralizedLockTest : public ::testing::Test {
     TestClerk* tc = &clerks_.back();
     tc->node = net_.AddNode("clerk" + std::to_string(clerks_.size()));
     LockClerk::Callbacks cb;
-    cb.on_revoke = [tc](LockId lock, LockMode mode) {
+    cb.on_revoke = [tc](LockId lock, LockMode mode, LockRange) {
       std::lock_guard<std::mutex> guard(tc->mu);
       tc->revokes.emplace_back(lock, mode);
     };
@@ -240,7 +240,7 @@ class DistLockTest : public ::testing::Test {
     TestClerk* tc = &clerks_.back();
     tc->node = net_.AddNode("clerk" + std::to_string(clerks_.size()));
     LockClerk::Callbacks cb;
-    cb.on_revoke = [tc](LockId lock, LockMode mode) {
+    cb.on_revoke = [tc](LockId lock, LockMode mode, LockRange) {
       std::lock_guard<std::mutex> guard(tc->mu);
       tc->revokes.emplace_back(lock, mode);
     };
@@ -427,7 +427,7 @@ class PbLockTest : public ::testing::Test {
     TestClerk* tc = &clerks_.back();
     tc->node = net_.AddNode("clerk" + std::to_string(clerks_.size()));
     LockClerk::Callbacks cb;
-    cb.on_revoke = [tc](LockId lock, LockMode mode) {
+    cb.on_revoke = [tc](LockId lock, LockMode mode, LockRange) {
       std::lock_guard<std::mutex> guard(tc->mu);
       tc->revokes.emplace_back(lock, mode);
     };

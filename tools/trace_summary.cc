@@ -31,7 +31,10 @@ int main(int argc, char** argv) {
   }
 
   // A write-shared file forces a revoke -> flush -> release -> grant chain
-  // between the two nodes, exercising every instrumented layer.
+  // between the two nodes, exercising every instrumented layer. The two
+  // nodes write adjacent 64 KB extents of one file: the first laps extend
+  // the file under full-range data locks, later laps are pure overwrites
+  // under byte-range extents, so the trace carries partial revokes too.
   auto created = (*node0)->fs()->Create("/shared");
   if (!created.ok()) {
     std::fprintf(stderr, "trace_summary: create failed\n");
@@ -64,6 +67,14 @@ int main(int argc, char** argv) {
       json.find("petal.write") == std::string::npos ||
       json.find("net.tx") == std::string::npos) {
     std::fprintf(stderr, "trace_summary: trace dump missing expected spans\n");
+    return 1;
+  }
+  // Byte-range lock instrumentation: the overwrite laps above revoke only
+  // the contended extent, so both the clerk-side instant and the FS-side
+  // ranged flush span must appear.
+  if (json.find("lock.partial_revoke") == std::string::npos ||
+      json.find("fs.range_revoke_flush") == std::string::npos) {
+    std::fprintf(stderr, "trace_summary: trace dump missing range-lock spans\n");
     return 1;
   }
   if (argc > 1) {
