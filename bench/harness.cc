@@ -4,11 +4,13 @@
 #include <sys/stat.h>
 #include <sys/time.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
 
@@ -198,6 +200,7 @@ void WriteCsv(const std::string& name, const std::string& header,
   std::printf("[csv written to %s]\n", path.c_str());
   WriteMetricsJson(name);
   WriteTraceJson(name);
+  WriteTraceDigest(name);
   WriteTimeSeriesCsv(name);
 }
 
@@ -234,6 +237,60 @@ void WriteTraceJson(const std::string& name) {
   std::ofstream out(path, std::ios::trunc);
   out << obs::Recorder::Default()->DumpJson() << "\n";
   std::printf("[trace written to %s]\n", path.c_str());
+}
+
+void WriteTraceDigest(const std::string& name) {
+  // Aggregate the live ring snapshot by span name. The rings hold the most
+  // recent window of activity per thread, which is exactly what the raw
+  // trace dump would show; the digest trades the per-event timeline for a
+  // diffable per-span rollup.
+  struct Agg {
+    uint64_t spans = 0;
+    uint64_t instants = 0;
+    int64_t total_ns = 0;
+    int64_t max_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const obs::TraceEvent& e : obs::Recorder::Default()->Snapshot()) {
+    if (e.name == nullptr) {
+      continue;
+    }
+    Agg& a = by_name[e.name];
+    if (e.kind == obs::EventKind::kInstant) {
+      ++a.instants;
+    } else {
+      ++a.spans;
+      a.total_ns += e.dur_ns;
+      a.max_ns = std::max(a.max_ns, e.dur_ns);
+    }
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& x, const auto& y) {
+    return x.second.total_ns > y.second.total_ns;
+  });
+
+  std::filesystem::create_directories("bench_results");
+  std::string path = "bench_results/" + name + ".trace_digest.txt";
+  std::ofstream out(path, std::ios::trunc);
+  out << "# flight-recorder digest for " << name << "\n";
+  out << "# span  count  total_us  max_us  (instants listed with count only)\n";
+  char line[256];
+  for (const auto& [span, a] : rows) {
+    if (a.spans > 0) {
+      std::snprintf(line, sizeof(line), "%-28s %8llu %12.0f %10.0f\n", span.c_str(),
+                    static_cast<unsigned long long>(a.spans), a.total_ns / 1e3,
+                    a.max_ns / 1e3);
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %8llu (instant)\n", span.c_str(),
+                    static_cast<unsigned long long>(a.instants));
+    }
+    out << line;
+  }
+  std::string slowest = obs::Recorder::Default()->SlowestOpSummary();
+  if (!slowest.empty()) {
+    out << "\n# slowest captured op (critical path marked with *)\n" << slowest;
+  }
+  std::printf("[trace digest written to %s]\n", path.c_str());
 }
 
 void StartTimeSeries(Duration period) {

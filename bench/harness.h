@@ -93,6 +93,14 @@ void WriteMetricsJson(const std::string& name);
 // process.
 void WriteTraceJson(const std::string& name);
 
+// Writes a compact digest of the flight recorder to
+// bench_results/<name>.trace_digest.txt: per-span counts with total/max
+// duration, instant-event counts, and the slowest captured op's critical
+// path. The raw .trace.json / .timeseries.csv sidecars are multi-MB and
+// gitignored (uploaded as CI artifacts only); the digest is the small
+// committable evidence. Called automatically by WriteCsv.
+void WriteTraceDigest(const std::string& name);
+
 // Opt in to windowed time-series capture: a background sampler records
 // metric deltas every `period` from now on. WriteCsv (or an explicit
 // WriteTimeSeriesCsv) then drops bench_results/<name>.timeseries.csv in long

@@ -210,7 +210,7 @@ Status FrangipaniFs::Mount() {
   wal_ = std::make_unique<LogWriter>(
       device_, geometry_, locks_->slot(),
       [this](uint64_t lsn) { return cache_->FlushPinnedUpTo(lsn); }, fence,
-      options_.node_id);
+      options_.node_id, options_.wal);
   BlockCacheOptions copts;
   copts.capacity_bytes = options_.cache_bytes;
   copts.dirty_hiwater_bytes = options_.dirty_hiwater_bytes;

@@ -55,6 +55,7 @@ struct FsOptions {
   bool fence_writes = true;         // stamp Petal writes with the lease expiry
   bool read_only = false;           // snapshot mounts
   uint32_t node_id = 0;             // simulated machine id for flight-recorder spans
+  WalOptions wal{};                 // group-commit window etc., passed to LogWriter
 };
 
 struct FileAttr {

@@ -107,17 +107,22 @@ int64_t TryParseRecord(const Bytes& buf, LogRecord* out) {
 
 LogWriter::LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
                      std::function<Status(uint64_t)> reclaim,
-                     std::function<int64_t()> lease_expiry_us, uint32_t node_id)
+                     std::function<int64_t()> lease_expiry_us, uint32_t node_id,
+                     WalOptions options)
     : device_(device),
       geometry_(geometry),
       slot_(slot),
       num_sectors_(geometry.log_bytes / kLogSectorSize),
       reclaim_(std::move(reclaim)),
       lease_expiry_us_(std::move(lease_expiry_us)),
-      node_id_(node_id) {
+      node_id_(node_id),
+      options_(options) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_appends_ = reg->GetCounter("wal.appends");
+  m_group_commits_ = reg->GetCounter("wal.group_commits");
+  m_group_commit_batched_ = reg->GetCounter("wal.group_commit_batched");
   m_flush_us_ = reg->GetHistogram("wal.flush_us");
+  m_group_commit_records_ = reg->GetHistogram("wal.group_commit_records");
 }
 
 uint64_t LogWriter::Append(LogRecord record) {
@@ -164,14 +169,37 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
   if (flushed_lsn_ >= lsn || pending_.empty()) {
     return OkStatus();
   }
-  flush_cv_.wait(lk, [this] { return !flushing_; });
-  if (flushed_lsn_ >= lsn || pending_.empty()) {
-    return OkStatus();
+  ++flush_waiters_;
+  // Follower path: someone else owns the flush. Wait for it; if its batch
+  // covered our LSN we never touch the device (group commit). If the leader
+  // failed or its batch stopped short, fall through and become the leader.
+  while (flushing_) {
+    flush_cv_.wait(lk);
+    if (flushed_lsn_ >= lsn || pending_.empty()) {
+      m_group_commit_batched_->Increment();
+      --flush_waiters_;
+      return OkStatus();
+    }
   }
   flushing_ = true;
   // Opened only once this call owns the flush (the early-outs above are the
   // re-entrant/no-op paths); args bound below once the batch is gathered.
   obs::SpanScope span(obs::Layer::kWal, "wal.flush", node_id_);
+
+  // Group commit (leader side): hold the write open for a short window so
+  // concurrent FlushTo callers and fresh appends can pile into this batch.
+  // Only bother when someone is actually waiting behind us.
+  bool group = options_.group_commit_us > 0;
+  if (group && flush_waiters_ > 1) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(options_.group_commit_us);
+    while (std::chrono::steady_clock::now() < deadline) {
+      flush_cv_.wait_until(lk, deadline);
+    }
+  }
+  // In group mode the leader flushes everything pending, not just its own
+  // LSN, so every queued follower is covered by this one write.
+  uint64_t gather_to = group ? next_lsn_ - 1 : lsn;
 
   // Gather records to flush. A single pass writes at most half the log; if
   // more is pending (a huge backlog), loop: reclaim interleaves naturally.
@@ -180,7 +208,7 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
   size_t byte_budget = static_cast<size_t>(num_sectors_ / 2) * kLogSectorPayload;
   bool more_after_this_pass = false;
   for (const auto& [rec_lsn, encoded] : pending_) {
-    if (rec_lsn > lsn) {
+    if (rec_lsn > gather_to) {
       break;
     }
     if (!record_sizes.empty() && stream.size() + encoded.size() > byte_budget) {
@@ -192,8 +220,12 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
   }
   if (record_sizes.empty()) {
     flushing_ = false;
+    --flush_waiters_;
     flush_cv_.notify_all();
     return OkStatus();
+  }
+  if (group) {
+    m_group_commit_records_->Record(static_cast<int64_t>(record_sizes.size()));
   }
   uint64_t flush_bound = record_sizes.back().first;
   span.arg0("lsn", flush_bound);
@@ -202,6 +234,7 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
       static_cast<uint32_t>((stream.size() + kLogSectorPayload - 1) / kLogSectorPayload);
   if (sectors_needed > num_sectors_) {
     flushing_ = false;
+    --flush_waiters_;
     flush_cv_.notify_all();
     return ResourceExhausted("single log record larger than the whole log");
   }
@@ -226,6 +259,7 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
     lk.lock();
     if (!st.ok()) {
       flushing_ = false;
+      --flush_waiters_;
       flush_cv_.notify_all();
       return st;
     }
@@ -306,8 +340,22 @@ Status LogWriter::FlushLocked(uint64_t lsn, std::unique_lock<std::mutex>& lk) {
     while (!pending_.empty() && pending_.front().first <= flush_bound) {
       pending_.pop_front();
     }
+    // Group-commit accounting happens after the write, not at gather time:
+    // the leader holds mu_ from entry through gather, so concurrent callers
+    // can only register while the device write is in flight (lock dropped).
+    // waiters > 1 here means this one write overlapped other FlushTo callers
+    // — the ones it covered skip their own write entirely.
+    if (group && flush_waiters_ > 1) {
+      m_group_commits_->Increment();
+      if (obs::RecorderEnabled()) {
+        obs::RecordInstant(obs::Layer::kWal, "wal.group_commit", node_id_,
+                           "records", record_sizes.size(), "waiters",
+                           flush_waiters_);
+      }
+    }
   }
   flushing_ = false;
+  --flush_waiters_;
   flush_cv_.notify_all();
   if (st.ok() && more_after_this_pass) {
     return FlushLocked(lsn, lk);  // continue draining the backlog

@@ -62,6 +62,15 @@ struct LogRecord {
   Bytes Encode() const;  // framed: magic, length, payload, crc
 };
 
+struct WalOptions {
+  // Group commit: when > 0, concurrent FlushTo callers elect a leader that
+  // holds the Petal write for up to this long, coalescing every record that
+  // arrives meanwhile into one framed write; followers whose LSN the batch
+  // covers never write at all. 0 keeps the strict flush-only-what-was-asked
+  // behavior (one write per uncovered FlushTo).
+  int64_t group_commit_us = 0;
+};
+
 inline constexpr uint32_t kLogSectorSize = 512;
 inline constexpr uint32_t kLogSectorHeader = 8 /*seq*/ + 2 /*used*/;
 inline constexpr uint32_t kLogSectorPayload = kLogSectorSize - kLogSectorHeader;
@@ -77,7 +86,8 @@ class LogWriter {
   // simulated machine (0 = unattributed).
   LogWriter(BlockDevice* device, const Geometry& geometry, uint32_t slot,
             std::function<Status(uint64_t up_to_lsn)> reclaim,
-            std::function<int64_t()> lease_expiry_us, uint32_t node_id = 0);
+            std::function<int64_t()> lease_expiry_us, uint32_t node_id = 0,
+            WalOptions options = {});
 
   // Buffers the record in memory and returns its lsn. The record is not
   // durable until FlushTo/FlushAll (or immediately when sync mode is on).
@@ -107,6 +117,7 @@ class LogWriter {
   std::function<Status(uint64_t)> reclaim_;
   std::function<int64_t()> lease_expiry_us_;
   uint32_t node_id_;
+  WalOptions options_;
 
   mutable std::mutex mu_;
   std::deque<std::pair<uint64_t, Bytes>> pending_;  // (lsn, encoded record)
@@ -116,11 +127,15 @@ class LogWriter {
   uint64_t next_seq_ = 1;   // next sector sequence number
   uint64_t tail_seq_ = 1;   // oldest live sector (not yet reclaimable space)
   bool flushing_ = false;
+  int flush_waiters_ = 0;  // FlushTo callers inside FlushLocked (incl. leader)
   std::condition_variable flush_cv_;
 
   // Registry handles, resolved once at construction.
   obs::Counter* m_appends_;
+  obs::Counter* m_group_commits_;       // leader writes that served >1 caller
+  obs::Counter* m_group_commit_batched_;  // flushes satisfied by another caller's write
   Histogram* m_flush_us_;
+  Histogram* m_group_commit_records_;   // records per leader batch (group mode)
 };
 
 // ---- Recovery (§4) ----

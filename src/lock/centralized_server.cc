@@ -8,6 +8,20 @@
 
 namespace frangipani {
 
+namespace {
+// Any authenticated message from a live holder proves liveness: restamp its
+// lease so piggybacked acks/releases keep it fresh without standalone
+// renewals. Only the server's view is extended, which is always safe (the
+// hazard direction is the server expiring a lease the client still trusts).
+void ImplicitRenew(SlotTable& slots, uint32_t slot) {
+  static obs::Counter* implicit_renewals =
+      obs::MetricsRegistry::Default()->GetCounter("lockd.implicit_renewals");
+  if (slots.Renew(slot)) {
+    implicit_renewals->Increment();
+  }
+}
+}  // namespace
+
 CentralizedLockServer::CentralizedLockServer(Network* net, NodeId self, Clock* clock,
                                              Duration lease_duration)
     : net_(net), self_(self), clock_(clock), slots_(clock, lease_duration) {
@@ -38,6 +52,7 @@ StatusOr<Bytes> CentralizedLockServer::Handle(uint32_t method, const Bytes& requ
       if (!dec.ok()) {
         return InvalidArgument("bad ack");
       }
+      ImplicitRenew(slots_, slot);
       core_.Ack(slot, lock);
       return Bytes{};
     }
@@ -103,6 +118,7 @@ StatusOr<Bytes> CentralizedLockServer::DoRequest(Decoder& dec) {
   if (!slots_.IsOpen(slot) || slots_.Expired(slot)) {
     return StaleLease("lease not live");
   }
+  ImplicitRenew(slots_, slot);
   obs::SpanScope span(obs::Layer::kLock, "lockd.request", self_, "lock", lock, "mode",
                       static_cast<uint64_t>(mode));
   LockRange granted;
@@ -129,6 +145,7 @@ StatusOr<Bytes> CentralizedLockServer::DoRelease(Decoder& dec) {
   if (!dec.ok()) {
     return InvalidArgument("bad release");
   }
+  ImplicitRenew(slots_, slot);
   core_.Release(slot, lock, new_mode, range);
   return Bytes{};
 }

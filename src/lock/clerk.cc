@@ -10,12 +10,13 @@
 namespace frangipani {
 
 LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> router, Clock* clock,
-                     Callbacks callbacks)
+                     Callbacks callbacks, LockClerkOptions options)
     : net_(net),
       self_(self),
       router_(std::move(router)),
       clock_(clock),
-      callbacks_(std::move(callbacks)) {
+      callbacks_(std::move(callbacks)),
+      options_(options) {
   obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
   m_sticky_hits_ = reg->GetCounter("lock.acquire.sticky");
   m_remote_acquires_ = reg->GetCounter("lock.acquire.remote");
@@ -23,6 +24,9 @@ LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> rout
   m_range_cache_hits_ = reg->GetCounter("lock.range_cache_hits");
   m_range_splits_ = reg->GetCounter("lock.range_splits");
   m_partial_revokes_ = reg->GetCounter("lock.partial_revokes");
+  m_piggybacked_renewals_ = reg->GetCounter("lock.piggybacked_renewals");
+  m_batched_releases_ = reg->GetCounter("lock.batched_releases");
+  m_renew_skipped_ = reg->GetCounter("lock.renew_skipped");
   m_acquire_us_ = reg->GetHistogram("lock.acquire_us");
   m_grant_wait_us_ = reg->GetHistogram("lock.grant_wait_us");
   m_release_us_ = reg->GetHistogram("lock.release_us");
@@ -30,7 +34,14 @@ LockClerk::LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> rout
   net_->RegisterService(self_, kServiceName, this);
 }
 
-LockClerk::~LockClerk() { net_->UnregisterService(self_, kServiceName); }
+LockClerk::~LockClerk() {
+  {
+    // Async grant-ack tasks capture `this`; wait for them before members die.
+    std::unique_lock<std::mutex> lk(mu_);
+    async_cv_.wait(lk, [this] { return async_acks_ == 0; });
+  }
+  net_->UnregisterService(self_, kServiceName);
+}
 
 Status LockClerk::Open(const std::string& table) {
   Encoder enc;
@@ -55,6 +66,14 @@ Status LockClerk::Open(const std::string& table) {
     lease_expiry_ = clock_->Now() + lease_duration_;
     open_ = true;
     poisoned_ = false;
+    renew_denied_ = false;
+    queued_releases_.clear();
+    // Seed the per-server confirmation times at open: the min-over-servers
+    // lease advance then starts from exactly the open-time lease.
+    renew_ok_.clear();
+    for (NodeId s : router_->AllServers()) {
+      renew_ok_[s] = lease_expiry_ - lease_duration_;
+    }
     return OkStatus();
   }
   return last;
@@ -119,6 +138,133 @@ StatusOr<Bytes> LockClerk::ServerCall(uint32_t method, LockId lock, const Bytes&
     return last;
   }
   return last;
+}
+
+void LockClerk::DeliverServerBatch(LockId route_lock, std::vector<SubCall> subs, int renew_idx,
+                                   TimePoint sent) {
+  constexpr int kAttempts = 6;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    StatusOr<NodeId> server = router_->ServerForLock(route_lock);
+    if (!server.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << std::min(attempt, 4)));
+      continue;
+    }
+    std::vector<SubCall> wire = subs;
+    size_t queued = 0;
+    if (options_.batch_releases) {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto qit = queued_releases_.find(*server);
+      if (qit != queued_releases_.end()) {
+        for (Bytes& body : qit->second) {
+          wire.push_back({"lockd", kLockRelease, std::move(body)});
+          ++queued;
+        }
+        queued_releases_.erase(qit);
+      }
+    }
+    if (queued > 0) {
+      m_batched_releases_->Increment(queued);
+    }
+    std::vector<StatusOr<Bytes>> replies = net_->CallBatch(self_, *server, wire);
+    bool transport_down = !replies.empty();
+    for (const StatusOr<Bytes>& r : replies) {
+      if (r.ok() || (r.status().code() != StatusCode::kUnavailable &&
+                     r.status().code() != StatusCode::kFailedPrecondition)) {
+        transport_down = false;
+        break;
+      }
+    }
+    if (transport_down) {
+      // Message lost or server no longer responsible. Retry the core subs on
+      // the re-routed server; the drained releases are dropped — losing a
+      // release is benign (the server revokes later and we answer with
+      // nothing held).
+      router_->OnServerTrouble(*server);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1 << std::min(attempt, 4)));
+      continue;
+    }
+    if (renew_idx >= 0 && static_cast<size_t>(renew_idx) < replies.size() &&
+        replies[renew_idx].ok()) {
+      Decoder dec(replies[renew_idx].value());
+      bool ok = dec.GetBool();
+      if (dec.ok() && ok) {
+        m_piggybacked_renewals_->Increment();
+        RecordRenewOk(*server, sent);
+      } else if (dec.ok()) {
+        std::lock_guard<std::mutex> guard(mu_);
+        renew_denied_ = true;
+      }
+    }
+    if (obs::RecorderEnabled()) {
+      obs::RecordInstant(obs::Layer::kLock, "lock.batch_delivered", self_, "subs", wire.size());
+    }
+    return;
+  }
+}
+
+void LockClerk::FlushQueuedReleases() {
+  std::map<NodeId, std::vector<Bytes>> drained;
+  uint32_t slot;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (queued_releases_.empty()) {
+      return;
+    }
+    drained.swap(queued_releases_);
+    slot = slot_;
+  }
+  for (auto& [server, bodies] : drained) {
+    std::vector<SubCall> subs;
+    int renew_idx = -1;
+    TimePoint sent = clock_->Now();
+    if (options_.piggyback_renewals) {
+      Encoder renc;
+      renc.PutU32(slot);
+      renew_idx = 0;
+      subs.push_back({"lockd", kLockRenew, renc.Take()});
+    }
+    for (Bytes& body : bodies) {
+      subs.push_back({"lockd", kLockRelease, std::move(body)});
+    }
+    m_batched_releases_->Increment(bodies.size());
+    std::vector<StatusOr<Bytes>> replies = net_->CallBatch(self_, server, subs);
+    if (renew_idx >= 0 && static_cast<size_t>(renew_idx) < replies.size() &&
+        replies[renew_idx].ok()) {
+      Decoder dec(replies[renew_idx].value());
+      bool ok = dec.GetBool();
+      if (dec.ok() && ok) {
+        m_piggybacked_renewals_->Increment();
+        RecordRenewOk(server, sent);
+      } else if (dec.ok()) {
+        std::lock_guard<std::mutex> guard(mu_);
+        renew_denied_ = true;
+      }
+    }
+    // Failed releases are dropped, not retried: see DeliverServerBatch.
+  }
+}
+
+void LockClerk::RecordRenewOk(NodeId server, TimePoint sent) {
+  std::lock_guard<std::mutex> guard(mu_);
+  TimePoint& t = renew_ok_[server];
+  t = std::max(t, sent);
+  if (!open_ || poisoned_ || renew_denied_) {
+    return;
+  }
+  // Advance the lease from piggybacked confirmations alone only when every
+  // server has one: expiry = min(last ok send) + duration is safe against
+  // each server's local renewal clock. Servers that never confirm (e.g. a
+  // standby backup) keep their open-time seed, so this simply never fires
+  // for them and RenewTick remains the backstop.
+  TimePoint base = sent;
+  for (NodeId s : router_->AllServers()) {
+    auto it = renew_ok_.find(s);
+    if (it == renew_ok_.end()) {
+      return;
+    }
+    base = std::min(base, it->second);
+  }
+  lease_expiry_ = std::max(lease_expiry_, base + lease_duration_);
 }
 
 bool LockClerk::UsesOverlap(const Entry& e, LockRange range) {
@@ -233,11 +379,37 @@ Status LockClerk::Acquire(LockId lock, LockMode mode, LockRange range) {
     cv_.notify_all();
     lk.unlock();
     // Acknowledge the grant: until this lands, the server will not revoke
-    // this hold, so a revoke can never cross the grant we just applied.
+    // this hold, so a revoke can never cross the grant we just applied —
+    // which also means the ack only has to land eventually, so it can ride
+    // the IO pool as a vector call with a piggybacked renewal and any queued
+    // releases instead of costing this thread another round-trip.
     Encoder ack;
     ack.PutU32(slot);
     ack.PutU64(lock);
-    (void)ServerCall(kLockAck, lock, ack.buffer());
+    std::vector<SubCall> subs;
+    subs.push_back({"lockd", kLockAck, ack.Take()});
+    int renew_idx = -1;
+    if (options_.piggyback_renewals) {
+      Encoder renc;
+      renc.PutU32(slot);
+      renew_idx = static_cast<int>(subs.size());
+      subs.push_back({"lockd", kLockRenew, renc.Take()});
+    }
+    TimePoint sent = clock_->Now();
+    if (options_.async_grant_ack) {
+      {
+        std::lock_guard<std::mutex> guard(mu_);
+        ++async_acks_;
+      }
+      net_->SubmitIo([this, lock, subs = std::move(subs), renew_idx, sent]() mutable {
+        DeliverServerBatch(lock, std::move(subs), renew_idx, sent);
+        std::lock_guard<std::mutex> guard(mu_);
+        --async_acks_;
+        async_cv_.notify_all();
+      });
+    } else {
+      DeliverServerBatch(lock, std::move(subs), renew_idx, sent);
+    }
     return OkStatus();
   }
 }
@@ -302,39 +474,81 @@ void LockClerk::DropIdle(Duration max_idle) {
     enc.PutU8(static_cast<uint8_t>(LockMode::kNone));
     enc.PutU64(0);
     enc.PutU64(kRangeEnd);
+    if (options_.batch_releases) {
+      StatusOr<NodeId> server = router_->ServerForLock(lock);
+      if (server.ok()) {
+        std::lock_guard<std::mutex> guard(mu_);
+        queued_releases_[*server].push_back(enc.Take());
+        continue;
+      }
+    }
     (void)ServerCall(kLockRelease, lock, enc.buffer());
   }
+  FlushQueuedReleases();
 }
 
 void LockClerk::RenewTick() {
   uint32_t slot;
+  bool denied = false;
   {
     std::lock_guard<std::mutex> guard(mu_);
     if (!open_ || poisoned_) {
       return;
     }
     slot = slot_;
+    // A piggybacked renewal came back denied since the last tick: the
+    // lease-lost handling runs here, on the demon thread, never on an async
+    // completion (the lease-lost callback touches the fs).
+    denied = renew_denied_;
+    renew_denied_ = false;
   }
   TimePoint sent = clock_->Now();
   Encoder enc;
   enc.PutU32(slot);
   bool any_ok = false;
-  bool denied = false;
+  // The conservative send time the new expiry is computed from: when a
+  // server is skipped thanks to a recent piggybacked confirmation, its
+  // (earlier) confirmation send time bounds the advance.
+  TimePoint base = sent;
+  // Issue all renewals concurrently: one slow or dead lock server must not
+  // delay renewal at the others past lease expiry.
+  std::vector<std::pair<NodeId, std::future<StatusOr<Bytes>>>> pending;
   for (NodeId server : router_->AllServers()) {
-    StatusOr<Bytes> reply = net_->Call(self_, server, "lockd", kLockRenew, enc.buffer());
+    if (options_.piggyback_renewals) {
+      std::lock_guard<std::mutex> guard(mu_);
+      auto it = renew_ok_.find(server);
+      if (it != renew_ok_.end() && sent - it->second < lease_duration_ / 6) {
+        // A piggybacked renewal reached this server moments ago; skip the
+        // standalone call and count its confirmation from that send time.
+        m_renew_skipped_->Increment();
+        any_ok = true;
+        base = std::min(base, it->second);
+        continue;
+      }
+    }
+    pending.emplace_back(server,
+                         net_->CallAsync(self_, server, "lockd", kLockRenew, enc.buffer()));
+  }
+  for (auto& [server, fut] : pending) {
+    StatusOr<Bytes> reply = fut.get();
     if (!reply.ok()) {
       continue;
     }
     Decoder dec(reply.value());
     if (dec.GetBool()) {
       any_ok = true;
+      RecordRenewOk(server, sent);
     } else {
       denied = true;
     }
   }
   std::unique_lock<std::mutex> lk(mu_);
+  if (renew_denied_) {
+    denied = true;
+    renew_denied_ = false;
+  }
   if (any_ok && !denied) {
-    lease_expiry_ = sent + lease_duration_;
+    lease_expiry_ = std::max(lease_expiry_, base + lease_duration_);
     return;
   }
   if (denied || clock_->Now() > lease_expiry_) {

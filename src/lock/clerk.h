@@ -28,6 +28,20 @@
 
 namespace frangipani {
 
+// Traffic-coalescing knobs (all on by default; tests and the batching-off
+// bench configs disable them individually).
+struct LockClerkOptions {
+  // Deliver grant acks on the IO pool as a vector call (with a piggybacked
+  // renewal) instead of blocking the acquiring thread one more round-trip.
+  // Safe because the server blocks revokes of the grant until the ack lands.
+  bool async_grant_ack = true;
+  // Ride lease renewals on outgoing ack/release batches; RenewTick then
+  // skips servers that confirmed one recently.
+  bool piggyback_renewals = true;
+  // Queue idle-drop releases and send one vector call per server.
+  bool batch_releases = true;
+};
+
 class LockClerk : public Service {
  public:
   struct Callbacks {
@@ -48,7 +62,7 @@ class LockClerk : public Service {
   static constexpr const char* kServiceName = "lockclerk";
 
   LockClerk(Network* net, NodeId self, std::unique_ptr<LockRouter> router, Clock* clock,
-            Callbacks callbacks);
+            Callbacks callbacks, LockClerkOptions options = {});
   ~LockClerk() override;
 
   // Opens the lock table; obtains a lease. The returned slot is also this
@@ -108,6 +122,22 @@ class LockClerk : public Service {
   // Sends a lock-server call with routing/failover; returns the reply.
   StatusOr<Bytes> ServerCall(uint32_t method, LockId lock, const Bytes& request);
 
+  // Delivers `subs` as one vector call to the server responsible for
+  // `route_lock`, with ServerCall-style retry/failover. Queued releases for
+  // the resolved server are drained into the batch. When `renew_idx` >= 0,
+  // subs[renew_idx] is a piggybacked renewal sent at `sent`; its reply
+  // updates renew_ok_ / renew_denied_.
+  void DeliverServerBatch(LockId route_lock, std::vector<SubCall> subs, int renew_idx,
+                          TimePoint sent);
+  // Sends one vector call per server with queued releases (plus a leading
+  // piggybacked renewal). Failed releases are dropped: the server revokes
+  // the lock later and HandleRevoke answers "nothing held".
+  void FlushQueuedReleases();
+  // Records a successful renewal confirmation from `server` for a renew sent
+  // at `sent`; advances the lease when every server has a confirmation
+  // (expiry = min over servers of last ok send + lease duration).
+  void RecordRenewOk(NodeId server, TimePoint sent);
+
   StatusOr<Bytes> HandleRevoke(Decoder& dec);
   StatusOr<Bytes> HandleRecoverSlot(Decoder& dec);
   StatusOr<Bytes> HandleListHeld();
@@ -119,6 +149,7 @@ class LockClerk : public Service {
   std::unique_ptr<LockRouter> router_;
   Clock* clock_;
   Callbacks callbacks_;
+  LockClerkOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -128,6 +159,21 @@ class LockClerk : public Service {
   TimePoint lease_expiry_{};
   bool open_ = false;
   bool poisoned_ = false;
+  // Last send time of a renewal each server confirmed (piggybacked or
+  // standalone). Seeded at Open so the min-over-servers lease advance starts
+  // from the open-time lease and stays conservative.
+  std::map<NodeId, TimePoint> renew_ok_;
+  // A piggybacked renewal came back denied; consumed by RenewTick, which
+  // owns MarkLeaseLost (async completions must not poison the mount — the
+  // lease-lost callback touches the fs, which is torn down before the
+  // clerk).
+  bool renew_denied_ = false;
+  // Idle-drop release bodies queued per destination server.
+  std::map<NodeId, std::vector<Bytes>> queued_releases_;
+  // In-flight async grant-ack tasks; the destructor drains them before the
+  // clerk's members go away.
+  int async_acks_ = 0;
+  std::condition_variable async_cv_;
 
   // Registry handles, resolved once at construction (hot path is lock-free).
   obs::Counter* m_sticky_hits_;
@@ -136,6 +182,9 @@ class LockClerk : public Service {
   obs::Counter* m_range_cache_hits_;
   obs::Counter* m_range_splits_;
   obs::Counter* m_partial_revokes_;
+  obs::Counter* m_piggybacked_renewals_;
+  obs::Counter* m_batched_releases_;
+  obs::Counter* m_renew_skipped_;
   Histogram* m_acquire_us_;
   Histogram* m_grant_wait_us_;
   Histogram* m_release_us_;

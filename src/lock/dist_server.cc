@@ -227,6 +227,7 @@ StatusOr<Bytes> DistLockServer::Handle(uint32_t method, const Bytes& request, No
       if (!dec.ok()) {
         return InvalidArgument("bad ack");
       }
+      ImplicitRenew(slot);
       core_.Ack(slot, lock);
       return Bytes{};
     }
@@ -296,6 +297,21 @@ StatusOr<Bytes> DistLockServer::DoRenew(Decoder& dec) {
   return enc.Take();
 }
 
+void DistLockServer::ImplicitRenew(uint32_t slot) {
+  static obs::Counter* implicit_renewals =
+      obs::MetricsRegistry::Default()->GetCounter("lockd.implicit_renewals");
+  std::lock_guard<std::mutex> guard(mu_);
+  // Same liveness guard as DoRenew: only a still-live, unclaimed slot may be
+  // restamped. Extends only this server's view of the lease (always safe).
+  bool ok = slot < kNumLeaseSlots && state_.slots[slot].open &&
+            state_.recovery_claim[slot] == kInvalidNode &&
+            clock_->Now() <= last_renew_[slot] + lease_duration_;
+  if (ok) {
+    last_renew_[slot] = clock_->Now();
+    implicit_renewals->Increment();
+  }
+}
+
 StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
   uint32_t slot = dec.GetU32();
   LockId lock = dec.GetU64();
@@ -316,6 +332,7 @@ StatusOr<Bytes> DistLockServer::DoRequest(Decoder& dec) {
     if (clock_->Now() > last_renew_[slot] + lease_duration_) {
       return StaleLease("lease expired");
     }
+    last_renew_[slot] = clock_->Now();  // implicit renewal: holder is live
   }
   WarmColdGroups();
   // Covers conflict resolution: any revoke chain this grant triggers runs
@@ -352,6 +369,7 @@ StatusOr<Bytes> DistLockServer::DoRelease(Decoder& dec) {
       return FailedPrecondition("lock group not served here");
     }
   }
+  ImplicitRenew(slot);
   core_.Release(slot, lock, new_mode, range);
   return Bytes{};
 }

@@ -116,6 +116,10 @@ class DistLockServer : public Service {
   StatusOr<Bytes> DoRelease(Decoder& dec);
   StatusOr<Bytes> DoGetAssignment();
 
+  // Restamps `slot`'s lease on any message from its live holder (same guard
+  // as DoRenew), so piggybacked acks/releases keep the lease fresh here.
+  void ImplicitRenew(uint32_t slot);
+
   Status RevokeAt(uint32_t holder, LockId lock, LockMode new_mode, LockRange range);
   void HandleDeadHolder(uint32_t holder);
 

@@ -7,6 +7,19 @@
 
 namespace frangipani {
 
+namespace {
+// See CentralizedLockServer: a message from a live holder restamps its lease
+// (extends only the server's view — always safe), so piggybacked traffic
+// substitutes for standalone renewals.
+void ImplicitRenew(SlotTable& slots, uint32_t slot) {
+  static obs::Counter* implicit_renewals =
+      obs::MetricsRegistry::Default()->GetCounter("lockd.implicit_renewals");
+  if (slots.Renew(slot)) {
+    implicit_renewals->Increment();
+  }
+}
+}  // namespace
+
 PrimaryBackupLockServer::PrimaryBackupLockServer(Network* net, NodeId self, NodeId peer,
                                                  bool start_active, PetalClient* petal,
                                                  VdiskId state_vdisk, Clock* clock,
@@ -141,6 +154,7 @@ StatusOr<Bytes> PrimaryBackupLockServer::Dispatch(uint32_t method, Decoder& dec,
       if (!slots_.IsOpen(slot) || slots_.Expired(slot)) {
         return StaleLease("lease not live");
       }
+      ImplicitRenew(slots_, slot);
       LockRange granted;
       RETURN_IF_ERROR(core_.Request(
           slot, lock, mode, range,
@@ -162,6 +176,7 @@ StatusOr<Bytes> PrimaryBackupLockServer::Dispatch(uint32_t method, Decoder& dec,
       if (!dec.ok()) {
         return InvalidArgument("bad release");
       }
+      ImplicitRenew(slots_, slot);
       core_.Release(slot, lock, new_mode, range);
       PersistState();
       return Bytes{};
@@ -169,6 +184,7 @@ StatusOr<Bytes> PrimaryBackupLockServer::Dispatch(uint32_t method, Decoder& dec,
     case kLockAck: {
       uint32_t slot = dec.GetU32();
       LockId lock = dec.GetU64();
+      ImplicitRenew(slots_, slot);
       core_.Ack(slot, lock);
       return Bytes{};
     }

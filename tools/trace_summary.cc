@@ -7,7 +7,10 @@
 // Usage: trace_summary [output.trace.json]
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/obs/recorder.h"
 #include "src/server/cluster.h"
 
@@ -18,6 +21,9 @@ int main(int argc, char** argv) {
   opts.petal_servers = 3;
   opts.disks_per_petal = 1;
   opts.slow_op_us = 1;  // promote everything: this is a capture smoke test
+  // Open a generous commit window so the concurrent-fsync phase below lands
+  // multiple flushers in one group commit.
+  opts.node.fs.wal.group_commit_us = 2000;
   Cluster cluster(opts);
   if (!cluster.Start().ok()) {
     std::fprintf(stderr, "trace_summary: cluster start failed\n");
@@ -51,6 +57,33 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Group-commit capture: several threads on node0 write private files and
+  // fsync in lockstep, so concurrent FlushTo callers pile up on one log and a
+  // leader gathers their records in a single framed write. A few laps are
+  // enough in practice; the retry loop keeps the smoke test deterministic.
+  obs::Counter* group_commits =
+      obs::MetricsRegistry::Default()->GetCounter("wal.group_commits");
+  for (int round = 0; round < 20 && group_commits->value() == 0; ++round) {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t, round] {
+        std::string path = "/gc" + std::to_string(round) + "_" + std::to_string(t);
+        auto ino = (*node0)->fs()->Create(path);
+        if (!ino.ok()) return;
+        Bytes payload(1024, static_cast<uint8_t>(t));
+        for (int lap = 0; lap < 4; ++lap) {
+          (void)(*node0)->fs()->Write(*ino, 0, payload);
+          (void)(*node0)->fs()->Fsync(*ino);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  if (group_commits->value() == 0) {
+    std::fprintf(stderr, "trace_summary: no WAL group commit observed\n");
+    return 1;
+  }
+
   obs::Recorder* rec = obs::Recorder::Default();
   std::string summary = rec->SlowestOpSummary();
   if (summary.empty()) {
@@ -75,6 +108,14 @@ int main(int argc, char** argv) {
   if (json.find("lock.partial_revoke") == std::string::npos ||
       json.find("fs.range_revoke_flush") == std::string::npos) {
     std::fprintf(stderr, "trace_summary: trace dump missing range-lock spans\n");
+    return 1;
+  }
+  // Batching instrumentation: the concurrent-fsync phase must have recorded a
+  // group commit instant, and the clerk's piggybacked grant-acks ride in
+  // vector RPC envelopes.
+  if (json.find("wal.group_commit") == std::string::npos ||
+      json.find("net.vector_call") == std::string::npos) {
+    std::fprintf(stderr, "trace_summary: trace dump missing batching spans\n");
     return 1;
   }
   if (argc > 1) {
